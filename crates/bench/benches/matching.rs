@@ -1,0 +1,47 @@
+//! Matching-heuristic ablation (DESIGN.md §7.1): each of the paper's
+//! three coarsening heuristics alone versus the best-of-three selection
+//! GP uses, on a 1024-node community graph. Reports both runtime (via
+//! criterion) and the absorbed-weight quality (printed once).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gp_core::coarsen::{best_matching, run_matching};
+use gp_core::MatchingKind;
+use ppn_gen::community_graph;
+
+fn bench_matching(c: &mut Criterion) {
+    let g = community_graph(8, 128, 3, 10, 2, 5);
+
+    println!(
+        "matching quality on {} nodes (absorbed weight, higher is better):",
+        g.num_nodes()
+    );
+    for kind in MatchingKind::ALL {
+        let m = run_matching(kind, &g, 42);
+        println!(
+            "  {kind:<12} absorbed={} pairs={}",
+            m.absorbed_weight(&g),
+            m.num_pairs()
+        );
+    }
+    let (winner, best) = best_matching(&MatchingKind::ALL, &g, 42);
+    println!(
+        "  best-of-3    absorbed={} pairs={} (winner: {winner})",
+        best.absorbed_weight(&g),
+        best.num_pairs()
+    );
+
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(30);
+    for kind in MatchingKind::ALL {
+        group.bench_function(kind.to_string(), |b| {
+            b.iter(|| run_matching(kind, &g, 42).num_pairs())
+        });
+    }
+    group.bench_function("best_of_3", |b| {
+        b.iter(|| best_matching(&MatchingKind::ALL, &g, 42).1.num_pairs())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

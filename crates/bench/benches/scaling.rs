@@ -1,0 +1,31 @@
+//! Scaling bench (beyond-paper): GP and the baseline on planted-
+//! partition graphs from 64 to 1024 nodes. The paper motivates the
+//! multilevel approach with "graphs with potentially thousands nodes";
+//! this bench verifies the pipeline stays sub-second there.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppn_bench::{run_gp, run_metis};
+use ppn_gen::community_graph;
+use ppn_graph::Constraints;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for &n_per in &[16usize, 64, 256] {
+        let communities = 4;
+        let g = community_graph(communities, n_per, 4, 12, 2, 99);
+        let rmax = (g.total_node_weight() as f64 / 4.0 * 1.4).ceil() as u64;
+        let cons = Constraints::new(rmax, g.total_edge_weight() / 4);
+        let nodes = communities * n_per;
+        group.bench_with_input(BenchmarkId::new("gp", nodes), &g, |b, g| {
+            b.iter(|| run_gp(g, 4, &cons, 1).total_cut)
+        });
+        group.bench_with_input(BenchmarkId::new("metis_lite", nodes), &g, |b, g| {
+            b.iter(|| run_metis(g, 4, &cons, 1).total_cut)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench regenerating Table 1 of the paper: GP vs the
+//! unconstrained baseline on the experiment-1 instance (timing column
+//! of the table; the quality columns are printed once at startup).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppn_bench::{format_table, run_gp, run_metis};
+use ppn_gen::paper::experiment1;
+
+fn bench_table(c: &mut Criterion) {
+    let e = experiment1();
+    // print the measured table once, so `cargo bench` output contains
+    // the same rows the paper reports
+    let rows = vec![
+        run_metis(&e.graph, e.k, &e.constraints, 1),
+        run_gp(&e.graph, e.k, &e.constraints, 1),
+    ];
+    println!("{}", format_table("Table 1 reproduction", &e.constraints, &rows));
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+    group.bench_function("metis_lite", |b| {
+        b.iter(|| run_metis(&e.graph, e.k, &e.constraints, 1).total_cut)
+    });
+    group.bench_function("gp", |b| {
+        b.iter(|| run_gp(&e.graph, e.k, &e.constraints, 1).total_cut)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Regenerate the paper's Figures 1–13 as DOT files (plus a textual
+//! V-cycle trace for Fig. 1).
+//!
+//! * Fig. 2/6/10 — unpartitioned graphs, node radius ∝ weight;
+//! * Fig. 3/7/11 — weight/bandwidth-annotated graphs;
+//! * Fig. 4/8/12 — GP partitionings (constraints met);
+//! * Fig. 5/9/13 — baseline partitionings (constraints violated);
+//! * Fig. 1 — the multilevel V-cycle, emitted as the GP level trace.
+//!
+//! Render with `dot -Tpdf` / `neato -Tpng` if Graphviz is available.
+
+use gp_core::{GpParams, GpPartitioner};
+use ppn_bench::run_metis;
+use ppn_gen::paper::all_experiments;
+use ppn_graph::io::dot::{to_dot, DotOptions};
+
+fn main() {
+    std::fs::create_dir_all("out").ok();
+    // figure numbers per experiment: (plain, weighted, gp, metis)
+    let figs = [(2, 3, 4, 5), (6, 7, 8, 9), (10, 11, 12, 13)];
+
+    for (e, (f_plain, f_weighted, f_gp, f_metis)) in all_experiments().iter().zip(figs) {
+        let write = |fig: usize, suffix: &str, opts: &DotOptions| {
+            let path = format!("out/fig{fig:02}_exp{}_{suffix}.dot", e.id);
+            std::fs::write(&path, to_dot(&e.graph, opts)).expect("write dot");
+            println!("wrote {path}");
+        };
+        write(
+            f_plain,
+            "plain",
+            &DotOptions {
+                name: format!("fig{f_plain}"),
+                size_by_weight: true,
+                show_weights: false,
+                partition: None,
+            },
+        );
+        write(
+            f_weighted,
+            "weighted",
+            &DotOptions {
+                name: format!("fig{f_weighted}"),
+                size_by_weight: true,
+                show_weights: true,
+                partition: None,
+            },
+        );
+
+        let gp = GpPartitioner::new(GpParams::default())
+            .partition(&e.graph, e.k, &e.constraints);
+        let (gp_partition, trace) = match gp {
+            Ok(r) => (r.partition, r.trace),
+            Err(b) => (b.best.partition.clone(), b.best.trace),
+        };
+        write(
+            f_gp,
+            "gp",
+            &DotOptions {
+                name: format!("fig{f_gp}"),
+                size_by_weight: true,
+                show_weights: true,
+                partition: Some(gp_partition),
+            },
+        );
+        let metis = run_metis(&e.graph, e.k, &e.constraints, 1);
+        write(
+            f_metis,
+            "metis",
+            &DotOptions {
+                name: format!("fig{f_metis}"),
+                size_by_weight: true,
+                show_weights: true,
+                partition: Some(metis.partition),
+            },
+        );
+
+        // Fig. 1: the multilevel scheme, as the V-cycle trace of exp 1
+        if e.id == 1 {
+            let mut txt = String::from(
+                "Fig. 1 — Multi-Level scheme (coarsening / initial partitioning / un-coarsening)\n\
+                 GP V-cycle trace for experiment 1:\n",
+            );
+            for t in &trace {
+                txt.push_str(&format!(
+                    "  cycle {} attempt {}: sizes {:?} matchings {:?} mid-level {} goodness {:?}{}\n",
+                    t.cycle,
+                    t.attempt,
+                    t.hierarchy_sizes,
+                    t.matchings.iter().map(|m| m.to_string()).collect::<Vec<_>>(),
+                    t.mid_level,
+                    t.goodness_at_mid,
+                    if t.selected { "  [selected]" } else { "" }
+                ));
+            }
+            std::fs::write("out/fig01_vcycle.txt", txt).expect("write trace");
+            println!("wrote out/fig01_vcycle.txt");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Constraint-tightness sweep (beyond-paper ablation #5 in DESIGN.md).
+//!
+//! Sweeps `Bmax` from loose to tight on the experiment-1 instance and
+//! reports, for each setting, whether GP stays feasible and at what cut
+//! premium over the unconstrained baseline. This quantifies the paper's
+//! closing remark that the cut premium "might not be the case if we
+//! employed stricter constraints".
+
+use ppn_bench::{run_gp, run_metis};
+use ppn_gen::paper::experiment1;
+
+fn main() {
+    let e = experiment1();
+    let metis = run_metis(&e.graph, e.k, &e.constraints, 1);
+    println!(
+        "baseline (unconstrained): cut={} max_local_bw={} max_res={}\n",
+        metis.total_cut, metis.max_local_bandwidth, metis.max_resource
+    );
+    println!(
+        "{:>6} {:>9} {:>8} {:>8} {:>10} {:>9}",
+        "Bmax", "feasible", "cut", "bw", "premium%", "time(ms)"
+    );
+    let mut bmax = metis.max_local_bandwidth + 8;
+    let mut rows = Vec::new();
+    while bmax >= 6 {
+        let mut c = e.constraints;
+        c.bmax = bmax;
+        let gp = run_gp(&e.graph, e.k, &c, 1);
+        let premium = if metis.total_cut > 0 {
+            100.0 * (gp.total_cut as f64 - metis.total_cut as f64) / metis.total_cut as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:>6} {:>9} {:>8} {:>8} {:>10.1} {:>9.1}",
+            bmax,
+            gp.feasible(),
+            gp.total_cut,
+            gp.max_local_bandwidth,
+            premium,
+            gp.time_s * 1e3
+        );
+        rows.push(serde_json::json!({
+            "bmax": bmax,
+            "feasible": gp.feasible(),
+            "cut": gp.total_cut,
+            "max_local_bandwidth": gp.max_local_bandwidth,
+            "premium_pct": premium,
+        }));
+        bmax -= 2;
+    }
+    std::fs::create_dir_all("out").ok();
+    std::fs::write(
+        "out/sweep_bmax.json",
+        serde_json::to_string_pretty(&rows).unwrap(),
+    )
+    .ok();
+    println!("\nwrote out/sweep_bmax.json");
+}

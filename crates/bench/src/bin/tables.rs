@@ -1,0 +1,78 @@
+//! Regenerate the paper's Tables I–III.
+//!
+//! Usage: `cargo run --release -p ppn-bench --bin tables [1|2|3]`
+//! (no argument = all three). Prints the measured rows next to the
+//! paper's published rows and writes JSON artifacts under `out/`.
+
+use ppn_bench::{format_table, run_gp, run_metis};
+use ppn_gen::paper::{all_experiments, Experiment};
+
+fn roman(id: usize) -> &'static str {
+    ["", "I", "II", "III"][id]
+}
+
+fn run(e: &Experiment) {
+    let metis = run_metis(&e.graph, e.k, &e.constraints, 1);
+    let gp = run_gp(&e.graph, e.k, &e.constraints, 1);
+    println!(
+        "{}",
+        format_table(
+            &format!(
+                "EXPERIMENT {}: Nodes = {}, Edges = {}, K = {}",
+                roman(e.id),
+                e.graph.num_nodes(),
+                e.graph.num_edges(),
+                e.k
+            ),
+            &e.constraints,
+            &[metis.clone(), gp.clone()]
+        )
+    );
+    println!(
+        "paper reference: METIS cut={} res={} bw={} | GP cut={} res={} bw={}\n",
+        e.paper_metis.total_cut,
+        e.paper_metis.max_resource,
+        e.paper_metis.max_local_bandwidth,
+        e.paper_gp.total_cut,
+        e.paper_gp.max_resource,
+        e.paper_gp.max_local_bandwidth,
+    );
+
+    std::fs::create_dir_all("out").ok();
+    let artifact = serde_json::json!({
+        "experiment": e.id,
+        "k": e.k,
+        "rmax": e.constraints.rmax,
+        "bmax": e.constraints.bmax,
+        "measured": {
+            "metis": { "cut": metis.total_cut, "time_s": metis.time_s,
+                        "max_resource": metis.max_resource,
+                        "max_local_bandwidth": metis.max_local_bandwidth,
+                        "feasible": metis.feasible() },
+            "gp": { "cut": gp.total_cut, "time_s": gp.time_s,
+                     "max_resource": gp.max_resource,
+                     "max_local_bandwidth": gp.max_local_bandwidth,
+                     "feasible": gp.feasible() },
+        },
+        "paper": {
+            "metis": { "cut": e.paper_metis.total_cut,
+                        "max_resource": e.paper_metis.max_resource,
+                        "max_local_bandwidth": e.paper_metis.max_local_bandwidth },
+            "gp": { "cut": e.paper_gp.total_cut,
+                     "max_resource": e.paper_gp.max_resource,
+                     "max_local_bandwidth": e.paper_gp.max_local_bandwidth },
+        }
+    });
+    let path = format!("out/table{}.json", e.id);
+    std::fs::write(&path, serde_json::to_string_pretty(&artifact).unwrap()).ok();
+    println!("wrote {path}\n");
+}
+
+fn main() {
+    let filter: Option<usize> = std::env::args().nth(1).and_then(|s| s.parse().ok());
+    for e in all_experiments() {
+        if filter.map(|f| f == e.id).unwrap_or(true) {
+            run(&e);
+        }
+    }
+}

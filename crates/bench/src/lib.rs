@@ -1,0 +1,136 @@
+//! Shared harness code for the benchmark binaries and criterion benches:
+//! run both partitioners on an instance, measure the paper's four
+//! metrics, and format table rows.
+
+use gp_core::{GpParams, GpPartitioner};
+use metis_lite::MetisOptions;
+use ppn_graph::metrics::PartitionQuality;
+use ppn_graph::{Constraints, Partition, WeightedGraph};
+use std::time::Instant;
+
+/// A measured table row (same columns as the paper's tables, plus
+/// feasibility flags).
+#[derive(Clone, Debug)]
+pub struct MeasuredRow {
+    /// Algorithm name.
+    pub algo: String,
+    /// Total weighted edge cut.
+    pub total_cut: u64,
+    /// Wall-clock seconds.
+    pub time_s: f64,
+    /// Maximum per-part resource usage.
+    pub max_resource: u64,
+    /// Maximum pairwise bandwidth.
+    pub max_local_bandwidth: u64,
+    /// Rmax satisfied?
+    pub resource_ok: bool,
+    /// Bmax satisfied?
+    pub bandwidth_ok: bool,
+    /// The partition that produced the row.
+    pub partition: Partition,
+}
+
+impl MeasuredRow {
+    fn from_partition(
+        algo: &str,
+        g: &WeightedGraph,
+        p: Partition,
+        c: &Constraints,
+        time_s: f64,
+    ) -> Self {
+        let q = PartitionQuality::measure(g, &p);
+        let rep = c.check_quality(&q);
+        MeasuredRow {
+            algo: algo.to_string(),
+            total_cut: q.total_cut,
+            time_s,
+            max_resource: q.max_resource,
+            max_local_bandwidth: q.max_local_bandwidth,
+            resource_ok: rep.resource_violations.is_empty(),
+            bandwidth_ok: rep.bandwidth_violations.is_empty(),
+            partition: p,
+        }
+    }
+
+    /// Both constraints met?
+    pub fn feasible(&self) -> bool {
+        self.resource_ok && self.bandwidth_ok
+    }
+}
+
+/// Run `metis-lite` (the unconstrained baseline) and measure against
+/// `c`.
+pub fn run_metis(g: &WeightedGraph, k: usize, c: &Constraints, seed: u64) -> MeasuredRow {
+    let t0 = Instant::now();
+    let r = metis_lite::kway_partition(g, k, &MetisOptions::default().with_seed(seed));
+    let dt = t0.elapsed().as_secs_f64();
+    MeasuredRow::from_partition("METIS(lite)", g, r.partition, c, dt)
+}
+
+/// Run GP (the paper's constrained partitioner) and measure. Returns
+/// the row even when GP reports infeasibility (its best attempt).
+pub fn run_gp(g: &WeightedGraph, k: usize, c: &Constraints, seed: u64) -> MeasuredRow {
+    let t0 = Instant::now();
+    let partitioner = GpPartitioner::new(GpParams::default().with_seed(seed));
+    let partition = match partitioner.partition(g, k, c) {
+        Ok(r) => r.partition,
+        Err(e) => e.best.partition,
+    };
+    let dt = t0.elapsed().as_secs_f64();
+    MeasuredRow::from_partition("GP", g, partition, c, dt)
+}
+
+/// Render rows in the paper's table layout.
+pub fn format_table(title: &str, c: &Constraints, rows: &[MeasuredRow]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} (Rmax={}, Bmax={}) ==", c.rmax, c.bmax);
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>10} {:>14} {:>14}  constraints",
+        "Algorithm", "Edge-Cut", "Time(s)", "MaxResource", "MaxLocalBW"
+    );
+    for r in rows {
+        let verdict = match (r.resource_ok, r.bandwidth_ok) {
+            (true, true) => "both met",
+            (false, true) => "RESOURCE VIOLATED",
+            (true, false) => "BANDWIDTH VIOLATED",
+            (false, false) => "BOTH VIOLATED",
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10} {:>10.3} {:>14} {:>14}  {verdict}",
+            r.algo, r.total_cut, r.time_s, r.max_resource, r.max_local_bandwidth
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppn_gen::paper::experiment1;
+
+    #[test]
+    fn rows_carry_consistent_metrics() {
+        let e = experiment1();
+        let row = run_metis(&e.graph, e.k, &e.constraints, 1);
+        assert_eq!(row.partition.k(), 4);
+        assert!(row.time_s >= 0.0);
+        let q = PartitionQuality::measure(&e.graph, &row.partition);
+        assert_eq!(q.total_cut, row.total_cut);
+    }
+
+    #[test]
+    fn table_formatting_mentions_verdicts() {
+        let e = experiment1();
+        let rows = vec![
+            run_metis(&e.graph, e.k, &e.constraints, 1),
+            run_gp(&e.graph, e.k, &e.constraints, 1),
+        ];
+        let table = format_table("Experiment I", &e.constraints, &rows);
+        assert!(table.contains("METIS"));
+        assert!(table.contains("GP"));
+        assert!(table.contains("Rmax=165"));
+    }
+}

@@ -1,0 +1,127 @@
+//! A lazy max-heap keyed by move gain.
+//!
+//! FM-style refiners repeatedly ask "which unlocked node has the highest
+//! gain?" while gains of neighbours change after every move. Instead of
+//! the textbook doubly-linked bucket lists we use a binary heap with
+//! *lazy invalidation*: every gain update bumps a per-node stamp and
+//! pushes a fresh entry; stale entries are discarded on pop. This keeps
+//! the implementation safe-Rust simple while preserving the
+//! O(moves · log E) pass bound that made FM practical.
+
+use std::collections::BinaryHeap;
+
+/// Max-heap of `(gain, node)` with lazy invalidation.
+#[derive(Clone, Debug, Default)]
+pub struct GainHeap {
+    heap: BinaryHeap<(i64, u32, u64)>,
+    stamp: Vec<u64>,
+}
+
+impl GainHeap {
+    /// Heap over `n` nodes, initially empty.
+    pub fn new(n: usize) -> Self {
+        GainHeap {
+            heap: BinaryHeap::new(),
+            stamp: vec![0; n],
+        }
+    }
+
+    /// Insert or update the gain of `node`.
+    pub fn update(&mut self, node: u32, gain: i64) {
+        let s = &mut self.stamp[node as usize];
+        *s += 1;
+        self.heap.push((gain, node, *s));
+    }
+
+    /// Invalidate `node` (e.g. after locking it).
+    pub fn remove(&mut self, node: u32) {
+        self.stamp[node as usize] += 1;
+    }
+
+    /// Pop the current best `(gain, node)`, skipping stale entries.
+    pub fn pop(&mut self) -> Option<(i64, u32)> {
+        while let Some((g, v, s)) = self.heap.pop() {
+            if self.stamp[v as usize] == s {
+                self.stamp[v as usize] += 1; // consume
+                return Some((g, v));
+            }
+        }
+        None
+    }
+
+    /// Peek the best live entry without consuming it.
+    pub fn peek(&mut self) -> Option<(i64, u32)> {
+        while let Some(&(g, v, s)) = self.heap.peek() {
+            if self.stamp[v as usize] == s {
+                return Some((g, v));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// True when no live entries remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_gain_order() {
+        let mut h = GainHeap::new(3);
+        h.update(0, 5);
+        h.update(1, 9);
+        h.update(2, -3);
+        assert_eq!(h.pop(), Some((9, 1)));
+        assert_eq!(h.pop(), Some((5, 0)));
+        assert_eq!(h.pop(), Some((-3, 2)));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn update_supersedes_previous_entry() {
+        let mut h = GainHeap::new(2);
+        h.update(0, 10);
+        h.update(0, 1); // stale 10 must be skipped
+        h.update(1, 5);
+        assert_eq!(h.pop(), Some((5, 1)));
+        assert_eq!(h.pop(), Some((1, 0)));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn remove_invalidates() {
+        let mut h = GainHeap::new(2);
+        h.update(0, 10);
+        h.update(1, 5);
+        h.remove(0);
+        assert_eq!(h.pop(), Some((5, 1)));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut h = GainHeap::new(1);
+        h.update(0, 2);
+        assert_eq!(h.peek(), Some((2, 0)));
+        assert_eq!(h.peek(), Some((2, 0)));
+        assert_eq!(h.pop(), Some((2, 0)));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn ties_are_broken_deterministically() {
+        let mut h = GainHeap::new(3);
+        h.update(0, 7);
+        h.update(1, 7);
+        h.update(2, 7);
+        // BinaryHeap on (gain, node, stamp): higher node id wins ties
+        assert_eq!(h.pop(), Some((7, 2)));
+        assert_eq!(h.pop(), Some((7, 1)));
+        assert_eq!(h.pop(), Some((7, 0)));
+    }
+}

@@ -1,0 +1,190 @@
+//! Kernighan–Lin two-way refinement.
+//!
+//! The pair-swapping heuristic of §II-A.1 of the paper, kept faithful to
+//! its historical limitations (the paper lists them explicitly): node
+//! weights are ignored when balancing — swaps preserve the node *count*
+//! per side — and a pass costs O(n²·passes) pair evaluations. It serves
+//! as a reference refiner and as the "what FM improved upon" ablation
+//! baseline.
+
+use ppn_graph::metrics::edge_cut;
+use ppn_graph::{NodeId, Partition, WeightedGraph};
+
+/// One KL refinement: repeated passes of greedy pair swaps with
+/// best-prefix rollback, until a pass yields no improvement or
+/// `max_passes` is hit. Returns `(initial_cut, final_cut, passes)`.
+pub fn kl_refine_bisection(
+    g: &WeightedGraph,
+    p: &mut Partition,
+    max_passes: usize,
+) -> (u64, u64, usize) {
+    assert_eq!(p.k(), 2, "KL refines bisections");
+    assert!(p.is_complete(), "KL needs a complete partition");
+    let initial = edge_cut(g, p);
+    let mut current = initial;
+    let mut passes = 0;
+
+    for _ in 0..max_passes {
+        passes += 1;
+        let improved = kl_pass(g, p, &mut current);
+        if !improved {
+            break;
+        }
+    }
+    (initial, current, passes)
+}
+
+/// D-value of `v`: external minus internal connection weight.
+fn d_value(g: &WeightedGraph, p: &Partition, v: NodeId) -> i64 {
+    let side = p.part_of(v);
+    let mut d = 0i64;
+    for &(u, e) in g.neighbors(v) {
+        let w = g.edge_weight(e) as i64;
+        if p.part_of(u) == side {
+            d -= w;
+        } else {
+            d += w;
+        }
+    }
+    d
+}
+
+fn kl_pass(g: &WeightedGraph, p: &mut Partition, current_cut: &mut u64) -> bool {
+    let n = g.num_nodes();
+    let mut d: Vec<i64> = (0..n).map(|i| d_value(g, p, NodeId::from_index(i))).collect();
+    let mut locked = vec![false; n];
+
+    let side_a: Vec<NodeId> = g.node_ids().filter(|&v| p.part_of(v) == 0).collect();
+    let side_b: Vec<NodeId> = g.node_ids().filter(|&v| p.part_of(v) == 1).collect();
+    let steps = side_a.len().min(side_b.len());
+
+    let mut swaps: Vec<(NodeId, NodeId, i64)> = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        // best unlocked pair (a, b): gain = D[a] + D[b] - 2 w(a,b)
+        let mut best: Option<(i64, NodeId, NodeId)> = None;
+        for &a in side_a.iter().filter(|a| !locked[a.index()]) {
+            for &b in side_b.iter().filter(|b| !locked[b.index()]) {
+                let wab = g
+                    .find_edge(a, b)
+                    .map(|e| g.edge_weight(e) as i64)
+                    .unwrap_or(0);
+                let gain = d[a.index()] + d[b.index()] - 2 * wab;
+                match best {
+                    Some((bg, _, _)) if bg >= gain => {}
+                    _ => best = Some((gain, a, b)),
+                }
+            }
+        }
+        let Some((gain, a, b)) = best else { break };
+        locked[a.index()] = true;
+        locked[b.index()] = true;
+        swaps.push((a, b, gain));
+        // update D values of unlocked nodes as if (a, b) were swapped
+        for &x in side_a.iter().filter(|x| !locked[x.index()]) {
+            let wxa = edge_w(g, x, a);
+            let wxb = edge_w(g, x, b);
+            d[x.index()] += 2 * wxa - 2 * wxb;
+        }
+        for &y in side_b.iter().filter(|y| !locked[y.index()]) {
+            let wyb = edge_w(g, y, b);
+            let wya = edge_w(g, y, a);
+            d[y.index()] += 2 * wyb - 2 * wya;
+        }
+    }
+
+    // best prefix of cumulative gain
+    let mut best_prefix = 0usize;
+    let mut best_gain = 0i64;
+    let mut acc = 0i64;
+    for (i, &(_, _, gain)) in swaps.iter().enumerate() {
+        acc += gain;
+        if acc > best_gain {
+            best_gain = acc;
+            best_prefix = i + 1;
+        }
+    }
+    if best_gain <= 0 {
+        return false;
+    }
+    for &(a, b, _) in &swaps[..best_prefix] {
+        p.assign(a, 1);
+        p.assign(b, 0);
+    }
+    *current_cut = (*current_cut as i64 - best_gain) as u64;
+    debug_assert_eq!(*current_cut, edge_cut(g, p));
+    true
+}
+
+#[inline]
+fn edge_w(g: &WeightedGraph, a: NodeId, b: NodeId) -> i64 {
+    g.find_edge(a, b).map(|e| g.edge_weight(e) as i64).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> WeightedGraph {
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..6).map(|_| g.add_node(1)).collect();
+        for &(a, b) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(n[a], n[b], 10).unwrap();
+        }
+        g.add_edge(n[2], n[3], 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn kl_untangles_interleaved_start() {
+        let g = two_triangles();
+        let mut p = Partition::from_assignment(vec![0, 1, 0, 1, 0, 1], 2).unwrap();
+        let (initial, final_cut, _) = kl_refine_bisection(&g, &mut p, 10);
+        assert!(final_cut < initial);
+        assert_eq!(final_cut, 1);
+    }
+
+    #[test]
+    fn kl_preserves_side_counts() {
+        let g = two_triangles();
+        let mut p = Partition::from_assignment(vec![0, 1, 0, 1, 0, 1], 2).unwrap();
+        kl_refine_bisection(&g, &mut p, 10);
+        assert_eq!(p.part_sizes(), vec![3, 3]);
+    }
+
+    #[test]
+    fn kl_stops_at_local_optimum() {
+        let g = two_triangles();
+        let mut p = Partition::from_assignment(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        let (initial, final_cut, passes) = kl_refine_bisection(&g, &mut p, 10);
+        assert_eq!(initial, 1);
+        assert_eq!(final_cut, 1);
+        assert_eq!(passes, 1); // first pass finds nothing and stops
+    }
+
+    #[test]
+    fn kl_never_increases_cut() {
+        let g = two_triangles();
+        for assign in [
+            vec![0, 0, 1, 1, 0, 1],
+            vec![1, 0, 1, 0, 1, 0],
+            vec![0, 1, 1, 0, 0, 1],
+        ] {
+            let mut p = Partition::from_assignment(assign, 2).unwrap();
+            let (initial, final_cut, _) = kl_refine_bisection(&g, &mut p, 10);
+            assert!(final_cut <= initial);
+        }
+    }
+
+    #[test]
+    fn unbalanced_sides_swap_min_count() {
+        // 1 node vs 3 nodes: only one swap step possible
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(1)).collect();
+        g.add_edge(n[0], n[1], 1).unwrap();
+        g.add_edge(n[1], n[2], 5).unwrap();
+        g.add_edge(n[2], n[3], 1).unwrap();
+        let mut p = Partition::from_assignment(vec![0, 1, 1, 1], 2).unwrap();
+        kl_refine_bisection(&g, &mut p, 5);
+        assert_eq!(p.part_sizes(), vec![1, 3]);
+    }
+}

@@ -1,0 +1,40 @@
+//! # gp-classic
+//!
+//! The classical partitioning heuristics that the paper's related-work
+//! section surveys and that both partitioners in this workspace are built
+//! from:
+//!
+//! * [`fm`] — Fiduccia–Mattheyses two-way refinement with gain buckets
+//!   (linear-time passes, §II-A.2 of the paper);
+//! * [`kl`] — Kernighan–Lin pair-swapping (§II-A.1), kept mainly as a
+//!   reference implementation and ablation baseline;
+//! * [`spectral`] — spectral bisection via the Fiedler vector of the
+//!   weighted Laplacian (§II-B), computed with deflated power iteration;
+//! * [`grow`] — greedy graph growing (the seed-and-grow heuristic used for
+//!   initial partitioning);
+//! * [`bisect`] — bisection driver (grow + FM + restarts) and recursive
+//!   bisection to k parts;
+//! * [`kway`] — direct k-way boundary refinement;
+//! * [`matching`] — heavy-edge matching for coarsening;
+//! * [`subgraph`] — induced subgraph extraction used by recursive
+//!   bisection;
+//! * [`gain`] — a lazy max-heap keyed by move gain, shared by the
+//!   refiners.
+
+pub mod bisect;
+pub mod fm;
+pub mod gain;
+pub mod grow;
+pub mod kl;
+pub mod kway;
+pub mod matching;
+pub mod spectral;
+pub mod subgraph;
+
+pub use bisect::{bisect, recursive_bisection, Bisection, BisectOptions};
+pub use fm::{fm_refine_bisection, FmOptions, FmOutcome};
+pub use grow::greedy_grow_bisection;
+pub use kl::kl_refine_bisection;
+pub use kway::{kway_refine, KwayOptions};
+pub use matching::heavy_edge_matching;
+pub use spectral::spectral_bisection;

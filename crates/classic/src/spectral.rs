@@ -1,0 +1,238 @@
+//! Spectral bisection via the Fiedler vector.
+//!
+//! The global method of §II-B of the paper: partition according to the
+//! sign structure of the second-smallest eigenvector of the weighted
+//! graph Laplacian `L = D − A`. We compute it with *deflated power
+//! iteration* on the spectrally shifted operator `B = cI − L` (`c` a
+//! Gershgorin upper bound on `λ_max(L)`), deflating the constant
+//! eigenvector; the dominant eigenvector of `B` orthogonal to **1** is
+//! exactly the Fiedler vector. This keeps the implementation dependency-
+//! free while converging quickly on the small/medium graphs the paper
+//! targets.
+
+use ppn_graph::prng::XorShift128Plus;
+use ppn_graph::{NodeId, Partition, WeightedGraph};
+
+/// Options for the Fiedler-vector computation.
+#[derive(Clone, Debug)]
+pub struct SpectralOptions {
+    /// Maximum power-iteration steps.
+    pub max_iters: usize,
+    /// Convergence tolerance on the iterate delta (L2).
+    pub tol: f64,
+    /// RNG seed for the start vector.
+    pub seed: u64,
+}
+
+impl Default for SpectralOptions {
+    fn default() -> Self {
+        SpectralOptions {
+            max_iters: 2000,
+            tol: 1e-9,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Apply `y = (cI − L) x` where `L` is the weighted Laplacian.
+fn apply_shifted(g: &WeightedGraph, c: f64, x: &[f64], y: &mut [f64]) {
+    for v in g.node_ids() {
+        let i = v.index();
+        let mut acc = (c - g.weighted_degree(v) as f64) * x[i];
+        for &(u, e) in g.neighbors(v) {
+            acc += g.edge_weight(e) as f64 * x[u.index()];
+        }
+        y[i] = acc;
+    }
+}
+
+fn normalize(x: &mut [f64]) -> f64 {
+    let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for v in x.iter_mut() {
+            *v /= norm;
+        }
+    }
+    norm
+}
+
+/// Remove the component along the all-ones vector.
+fn deflate_ones(x: &mut [f64]) {
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    for v in x.iter_mut() {
+        *v -= mean;
+    }
+}
+
+/// Compute (an approximation of) the Fiedler vector of `g`. Returns
+/// `None` for graphs with fewer than 2 nodes.
+pub fn fiedler_vector(g: &WeightedGraph, opts: &SpectralOptions) -> Option<Vec<f64>> {
+    let n = g.num_nodes();
+    if n < 2 {
+        return None;
+    }
+    // Gershgorin bound: λ_max(L) ≤ 2 · max weighted degree
+    let c = 2.0
+        * g.node_ids()
+            .map(|v| g.weighted_degree(v) as f64)
+            .fold(0.0, f64::max)
+        + 1.0;
+
+    let mut rng = XorShift128Plus::new(opts.seed);
+    let mut x: Vec<f64> = (0..n)
+        .map(|_| (rng.next_u64() as f64 / u64::MAX as f64) - 0.5)
+        .collect();
+    deflate_ones(&mut x);
+    normalize(&mut x);
+    let mut y = vec![0.0; n];
+
+    for _ in 0..opts.max_iters {
+        apply_shifted(g, c, &x, &mut y);
+        deflate_ones(&mut y);
+        if normalize(&mut y) == 0.0 {
+            // degenerate (e.g. empty edge set): any balanced vector works
+            return Some(x);
+        }
+        let delta: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        std::mem::swap(&mut x, &mut y);
+        if delta < opts.tol {
+            break;
+        }
+    }
+    Some(x)
+}
+
+/// Spectral bisection: weighted-median split of the Fiedler ordering.
+/// Side 0 receives nodes with the smallest Fiedler values until it holds
+/// at least half the total node weight.
+pub fn spectral_bisection(g: &WeightedGraph, opts: &SpectralOptions) -> Partition {
+    let n = g.num_nodes();
+    let mut p = Partition::unassigned(n, 2);
+    let Some(f) = fiedler_vector(g, opts) else {
+        for v in g.node_ids() {
+            p.assign(v, 0);
+        }
+        return p;
+    };
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| f[a].partial_cmp(&f[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let total = g.total_node_weight();
+    let mut acc = 0u64;
+    for &i in &order {
+        let v = NodeId::from_index(i);
+        if acc * 2 < total {
+            p.assign(v, 0);
+            acc += g.node_weight(v);
+        } else {
+            p.assign(v, 1);
+        }
+    }
+    // guard: never leave a side empty on graphs with ≥ 2 nodes
+    let sizes = p.part_sizes();
+    if sizes[0] == 0 {
+        p.assign(NodeId::from_index(order[0]), 0);
+    } else if sizes[1] == 0 {
+        p.assign(NodeId::from_index(*order.last().unwrap()), 1);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppn_graph::metrics::edge_cut;
+
+    fn two_cliques(k: usize) -> WeightedGraph {
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..2 * k).map(|_| g.add_node(1)).collect();
+        for half in 0..2 {
+            let base = half * k;
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    g.add_edge(n[base + i], n[base + j], 10).unwrap();
+                }
+            }
+        }
+        g.add_edge(n[k - 1], n[k], 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn fiedler_separates_two_cliques() {
+        let g = two_cliques(5);
+        let f = fiedler_vector(&g, &SpectralOptions::default()).unwrap();
+        // all of clique 0 on one sign, clique 1 on the other
+        let sign0 = f[0].signum();
+        for i in 0..5 {
+            assert_eq!(f[i].signum(), sign0, "node {i} crossed the cut");
+        }
+        for i in 5..10 {
+            assert_eq!(f[i].signum(), -sign0, "node {i} crossed the cut");
+        }
+    }
+
+    #[test]
+    fn spectral_bisection_cuts_the_bridge() {
+        let g = two_cliques(5);
+        let p = spectral_bisection(&g, &SpectralOptions::default());
+        assert!(p.is_complete());
+        assert_eq!(edge_cut(&g, &p), 1);
+        assert_eq!(p.part_sizes(), vec![5, 5]);
+    }
+
+    #[test]
+    fn path_graph_splits_at_middle() {
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..8).map(|_| g.add_node(1)).collect();
+        for w in n.windows(2) {
+            g.add_edge(w[0], w[1], 1).unwrap();
+        }
+        let p = spectral_bisection(&g, &SpectralOptions::default());
+        assert_eq!(edge_cut(&g, &p), 1);
+        assert_eq!(p.part_sizes(), vec![4, 4]);
+        // contiguity: the Fiedler vector of a path is monotone
+        let parts: Vec<u32> = n.iter().map(|&v| p.part_of(v)).collect();
+        let changes = parts.windows(2).filter(|w| w[0] != w[1]).count();
+        assert_eq!(changes, 1);
+    }
+
+    #[test]
+    fn tiny_graphs_do_not_panic() {
+        let g = WeightedGraph::with_uniform_nodes(1, 1);
+        let p = spectral_bisection(&g, &SpectralOptions::default());
+        assert!(p.is_complete());
+        let g = WeightedGraph::with_uniform_nodes(0, 1);
+        let p = spectral_bisection(&g, &SpectralOptions::default());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn edgeless_graph_is_split_by_weight() {
+        let g = WeightedGraph::with_uniform_nodes(6, 5);
+        let p = spectral_bisection(&g, &SpectralOptions::default());
+        assert!(p.is_complete());
+        let w = p.part_weights(&g);
+        assert_eq!(w.iter().sum::<u64>(), 30);
+        assert!(w[0] >= 15);
+    }
+
+    #[test]
+    fn weighted_median_respects_node_weights() {
+        // one giant node + 4 small: side 0 should stop after ~half weight
+        let mut g = WeightedGraph::new();
+        let big = g.add_node(100);
+        let small: Vec<_> = (0..4).map(|_| g.add_node(1)).collect();
+        for &s in &small {
+            g.add_edge(big, s, 1).unwrap();
+        }
+        let p = spectral_bisection(&g, &SpectralOptions::default());
+        assert!(p.is_complete());
+        let sizes = p.part_sizes();
+        assert!(sizes[0] >= 1 && sizes[1] >= 1);
+    }
+}

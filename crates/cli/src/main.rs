@@ -1,0 +1,192 @@
+//! `gp` — command-line constrained k-way partitioner.
+//!
+//! ```text
+//! gp partition --input graph.metis --k 4 --rmax 165 --bmax 16 [--format metis|matrix|json]
+//!              [--seed N] [--baseline] [--dot out.dot] [--out partition.json]
+//! gp demo [1|2|3]      # run a paper experiment instance
+//! gp gen --nodes N --edges M --seed S > graph.metis
+//! ```
+
+use gp_core::{GpParams, GpPartitioner};
+use metis_lite::MetisOptions;
+use ppn_graph::io::dot::{to_dot, DotOptions};
+use ppn_graph::io::{json, matrix, metis};
+use ppn_graph::metrics::PartitionQuality;
+use ppn_graph::{Constraints, WeightedGraph};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  gp partition --input FILE --k K --rmax R --bmax B \\\n      [--format metis|matrix|json] [--seed N] [--baseline] [--dot FILE] [--out FILE]\n  gp demo [1|2|3]\n  gp gen --nodes N --edges M [--seed S]"
+    );
+    ExitCode::from(2)
+}
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn load_graph(path: &str, format: &str) -> Result<WeightedGraph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let g = match format {
+        "metis" => metis::parse(&text).map_err(|e| e.to_string())?,
+        "matrix" => matrix::parse(&text).map_err(|e| e.to_string())?,
+        "json" => json::graph_from_json(&text).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown format `{other}`")),
+    };
+    Ok(g)
+}
+
+fn cmd_partition(args: &[String]) -> ExitCode {
+    let (Some(input), Some(k), Some(rmax), Some(bmax)) = (
+        arg_value(args, "--input"),
+        arg_value(args, "--k").and_then(|v| v.parse::<usize>().ok()),
+        arg_value(args, "--rmax").and_then(|v| v.parse::<u64>().ok()),
+        arg_value(args, "--bmax").and_then(|v| v.parse::<u64>().ok()),
+    ) else {
+        return usage();
+    };
+    let format = arg_value(args, "--format").unwrap_or_else(|| "metis".into());
+    let seed = arg_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xCA77Au64);
+    let g = match load_graph(&input, &format) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let constraints = Constraints::new(rmax, bmax);
+
+    let (partition, feasible) = if has_flag(args, "--baseline") {
+        let r = metis_lite::kway_partition(&g, k, &MetisOptions::default().with_seed(seed));
+        let ok = constraints.is_feasible(&g, &r.partition);
+        (r.partition, ok)
+    } else {
+        match GpPartitioner::new(GpParams::default().with_seed(seed)).partition(&g, k, &constraints)
+        {
+            Ok(r) => (r.partition, true),
+            Err(e) => {
+                eprintln!("warning: {e}");
+                (e.best.partition.clone(), false)
+            }
+        }
+    };
+
+    let q = PartitionQuality::measure(&g, &partition);
+    let rep = constraints.check_quality(&q);
+    println!(
+        "nodes={} edges={} k={k} cut={} max_resource={} max_local_bandwidth={} => {}",
+        g.num_nodes(),
+        g.num_edges(),
+        q.total_cut,
+        q.max_resource,
+        q.max_local_bandwidth,
+        rep.summary()
+    );
+
+    if let Some(path) = arg_value(args, "--dot") {
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                partition: Some(partition.clone()),
+                ..DotOptions::default()
+            },
+        );
+        if let Err(e) = std::fs::write(&path, dot) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = arg_value(args, "--out") {
+        if let Err(e) = std::fs::write(&path, json::partition_to_json(&partition)) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if feasible {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_demo(args: &[String]) -> ExitCode {
+    let which: usize = args.first().and_then(|v| v.parse().ok()).unwrap_or(1);
+    let e = match which {
+        1 => ppn_gen::paper::experiment1(),
+        2 => ppn_gen::paper::experiment2(),
+        3 => ppn_gen::paper::experiment3(),
+        _ => return usage(),
+    };
+    println!(
+        "experiment {}: {} nodes, {} edges, k={}, Rmax={}, Bmax={}",
+        e.id,
+        e.graph.num_nodes(),
+        e.graph.num_edges(),
+        e.k,
+        e.constraints.rmax,
+        e.constraints.bmax
+    );
+    for baseline in [true, false] {
+        let name = if baseline { "baseline" } else { "gp" };
+        let partition = if baseline {
+            metis_lite::kway_partition(&e.graph, e.k, &MetisOptions::default()).partition
+        } else {
+            match GpPartitioner::default().partition(&e.graph, e.k, &e.constraints) {
+                Ok(r) => r.partition,
+                Err(b) => b.best.partition.clone(),
+            }
+        };
+        let q = PartitionQuality::measure(&e.graph, &partition);
+        let rep = e.constraints.check_quality(&q);
+        println!(
+            "  {name:<8} cut={:<4} max_res={:<4} max_bw={:<3} {}",
+            q.total_cut,
+            q.max_resource,
+            q.max_local_bandwidth,
+            rep.summary()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_gen(args: &[String]) -> ExitCode {
+    let nodes = arg_value(args, "--nodes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12usize);
+    let edges = arg_value(args, "--edges")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2 * nodes);
+    let seed = arg_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1u64);
+    let g = ppn_gen::random_graph(&ppn_gen::RandomGraphSpec {
+        nodes,
+        edges,
+        node_weight: (20, 60),
+        edge_weight: (1, 8),
+        seed,
+    });
+    print!("{}", metis::write(&g));
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("partition") => cmd_partition(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,206 @@
+//! GP coarsening: best-of-three matchings per level (paper §IV-A).
+//!
+//! "We use in this work all three heuristics algorithms (Random, HEM,
+//! K-Means) to get the matching. These heuristics are employed at
+//! different times, multiple times, in order to find the best matching
+//! for the given graph. Each time we compare the results of the three
+//! heuristics with each other and choose the best one."
+//!
+//! The comparison criterion is the *absorbed edge weight* — the total
+//! bandwidth hidden inside coarse nodes. Maximising it minimises the
+//! bandwidth any partition of the coarse graph can possibly expose,
+//! which is the quantity the `Bmax` constraint cares about. Ties go to
+//! the matching with more pairs (faster shrinkage), then to the earlier
+//! heuristic in the configured list (determinism).
+
+use crate::kmeans::kmeans_matching;
+use crate::params::MatchingKind;
+use gp_classic::matching::heavy_edge_matching;
+use ppn_graph::contract::{contract, CoarseMap};
+use ppn_graph::matching::{random_maximal_matching, Matching};
+use ppn_graph::prng::derive_seed;
+use ppn_graph::WeightedGraph;
+
+/// Run one matching heuristic.
+pub fn run_matching(kind: MatchingKind, g: &WeightedGraph, seed: u64) -> Matching {
+    match kind {
+        MatchingKind::Random => random_maximal_matching(g, seed),
+        MatchingKind::HeavyEdge => heavy_edge_matching(g, seed),
+        MatchingKind::KMeans => kmeans_matching(g, seed),
+    }
+}
+
+/// Pick the best matching among `kinds` for `g` (see module docs for the
+/// criterion). Returns the winning kind alongside the matching.
+pub fn best_matching(
+    kinds: &[MatchingKind],
+    g: &WeightedGraph,
+    seed: u64,
+) -> (MatchingKind, Matching) {
+    assert!(!kinds.is_empty(), "need at least one matching heuristic");
+    let mut best: Option<(u64, usize, usize, MatchingKind, Matching)> = None;
+    for (i, &kind) in kinds.iter().enumerate() {
+        let m = run_matching(kind, g, derive_seed(seed, i as u64));
+        let absorbed = m.absorbed_weight(g);
+        let pairs = m.num_pairs();
+        let better = match &best {
+            None => true,
+            Some((ba, bp, bi, _, _)) => {
+                (absorbed, pairs, std::cmp::Reverse(i))
+                    > (*ba, *bp, std::cmp::Reverse(*bi))
+            }
+        };
+        if better {
+            best = Some((absorbed, pairs, i, kind, m));
+        }
+    }
+    let (_, _, _, kind, m) = best.unwrap();
+    (kind, m)
+}
+
+/// One level of the GP hierarchy.
+#[derive(Clone, Debug)]
+pub struct GpLevel {
+    /// The finer graph.
+    pub fine: WeightedGraph,
+    /// Fine→coarse map.
+    pub map: CoarseMap,
+    /// Which heuristic won at this level.
+    pub matching_kind: MatchingKind,
+}
+
+/// GP coarsening hierarchy.
+#[derive(Clone, Debug)]
+pub struct GpHierarchy {
+    /// Levels, finest first.
+    pub levels: Vec<GpLevel>,
+    coarsest: WeightedGraph,
+}
+
+impl GpHierarchy {
+    /// The coarsest graph.
+    pub fn coarsest(&self) -> &WeightedGraph {
+        &self.coarsest
+    }
+
+    /// Number of graphs (levels + 1).
+    pub fn depth(&self) -> usize {
+        self.levels.len() + 1
+    }
+
+    /// Node counts per graph, finest first (the paper's Fig. 1 trace).
+    pub fn size_trace(&self) -> Vec<usize> {
+        let mut t: Vec<usize> = self.levels.iter().map(|l| l.fine.num_nodes()).collect();
+        t.push(self.coarsest.num_nodes());
+        t
+    }
+}
+
+/// Build a GP hierarchy down to `coarsen_to` nodes, choosing the best of
+/// the configured matchings at every level.
+pub fn gp_coarsen(
+    g: &WeightedGraph,
+    kinds: &[MatchingKind],
+    coarsen_to: usize,
+    seed: u64,
+) -> GpHierarchy {
+    let mut levels = Vec::new();
+    let mut current = g.clone();
+    let mut round = 0u64;
+    while current.num_nodes() > coarsen_to {
+        let (kind, m) = best_matching(kinds, &current, derive_seed(seed, 0x6C + round));
+        let coarse_nodes = m.coarse_node_count();
+        if coarse_nodes as f64 > current.num_nodes() as f64 * 0.95 {
+            break; // stalled (e.g. star graphs)
+        }
+        let (coarse, map) = contract(&current, &m);
+        levels.push(GpLevel {
+            fine: current,
+            map,
+            matching_kind: kind,
+        });
+        current = coarse;
+        round += 1;
+    }
+    GpHierarchy {
+        levels,
+        coarsest: current,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize, w: u64) -> WeightedGraph {
+        let mut g = WeightedGraph::new();
+        let ids: Vec<_> = (0..n).map(|_| g.add_node(w)).collect();
+        for i in 0..n {
+            g.add_edge(ids[i], ids[(i + 1) % n], 1 + (i as u64 % 5)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn best_matching_picks_highest_absorption() {
+        // heavy-edge absorbs the most on a weight-skewed ring
+        let g = ring(32, 4);
+        let (kind, m) = best_matching(&MatchingKind::ALL, &g, 7);
+        assert!(m.validate(&g));
+        // whatever wins must absorb at least as much as every individual run
+        let absorbed = m.absorbed_weight(&g);
+        for (i, &k) in MatchingKind::ALL.iter().enumerate() {
+            let alt = run_matching(k, &g, derive_seed(7, i as u64));
+            assert!(
+                absorbed >= alt.absorbed_weight(&g),
+                "{kind} absorbed {absorbed} < {k} {}",
+                alt.absorbed_weight(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchy_reaches_target() {
+        let g = ring(256, 2);
+        let h = gp_coarsen(&g, &MatchingKind::ALL, 32, 5);
+        assert!(h.coarsest().num_nodes() <= 32);
+        assert_eq!(h.coarsest().total_node_weight(), g.total_node_weight());
+        let trace = h.size_trace();
+        assert_eq!(trace[0], 256);
+        assert!(trace.windows(2).all(|w| w[1] < w[0]), "sizes must shrink: {trace:?}");
+    }
+
+    #[test]
+    fn single_heuristic_hierarchy_works() {
+        let g = ring(64, 1);
+        for kind in MatchingKind::ALL {
+            let h = gp_coarsen(&g, &[kind], 16, 3);
+            assert!(
+                h.coarsest().num_nodes() <= 16 || h.depth() == 1,
+                "{kind}: {:?}",
+                h.size_trace()
+            );
+        }
+    }
+
+    #[test]
+    fn level_records_winning_kind() {
+        let g = ring(64, 3);
+        let h = gp_coarsen(&g, &MatchingKind::ALL, 16, 11);
+        for l in &h.levels {
+            assert!(MatchingKind::ALL.contains(&l.matching_kind));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = ring(64, 2);
+        let a = gp_coarsen(&g, &MatchingKind::ALL, 16, 9);
+        let b = gp_coarsen(&g, &MatchingKind::ALL, 16, 9);
+        assert_eq!(a.size_trace(), b.size_trace());
+        for (x, y) in a.levels.iter().zip(&b.levels) {
+            assert_eq!(x.matching_kind, y.matching_kind);
+            assert_eq!(x.map.map, y.map.map);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The GP V-cycle driver (paper §IV).
+//!
+//! One *cycle* is: coarsen the input to `coarsen_to` nodes with
+//! best-of-three matchings → greedy constrained initial partitioning with
+//! restarts → constrained refinement while un-coarsening. Unlike textbook
+//! MLKWP, GP does not un-coarsen in one shot: within each cycle several
+//! *intermediate clusterings* are generated (different coarsening RNG
+//! streams), each refined up to an intermediate hierarchy level, compared
+//! a posteriori with the goodness function, and only the winner continues
+//! to the top. If the top-level partition still violates the constraints
+//! the whole process repeats — re-coarsening "randomly, cyclically" — up
+//! to `max_cycles` times before reporting the paper's
+//! impossible-or-more-time message.
+
+use crate::coarsen::{gp_coarsen, GpHierarchy};
+use crate::initial::{greedy_initial_partition, InitialOptions};
+use crate::params::GpParams;
+use crate::refine::{constrained_refine, RefineOptions};
+use crate::report::{CycleTrace, GpInfeasible, GpResult};
+use ppn_graph::metrics::PartitionQuality;
+use ppn_graph::prng::derive_seed;
+use ppn_graph::{Constraints, Partition, WeightedGraph};
+
+/// Refine `p` upward through `hier.levels[from..to]` (indices into the
+/// finest-first level list, iterated coarse→fine). On entry `p` lives on
+/// the graph *coarser* than `levels[to-1]`… i.e. projecting through
+/// `levels[i].map` lands on `levels[i].fine`.
+fn refine_up(
+    hier: &GpHierarchy,
+    range: std::ops::Range<usize>,
+    mut p: Partition,
+    c: &Constraints,
+    params: &GpParams,
+    stream: u64,
+) -> Partition {
+    for i in range.rev() {
+        let level = &hier.levels[i];
+        p = p.project(&level.map.map);
+        constrained_refine(
+            &level.fine,
+            &mut p,
+            c,
+            &RefineOptions {
+                max_passes: params.refine_passes,
+                seed: derive_seed(params.seed, stream ^ (i as u64) << 8),
+                protect_nonempty: true,
+            },
+        );
+    }
+    p
+}
+
+/// Run the full GP algorithm. Returns `Ok` when the constraints are met,
+/// `Err(GpInfeasible)` (carrying the best attempt) otherwise.
+pub fn gp_partition(
+    g: &WeightedGraph,
+    k: usize,
+    c: &Constraints,
+    params: &GpParams,
+) -> Result<GpResult, Box<GpInfeasible>> {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(g.num_nodes() > 0, "cannot partition an empty graph");
+
+    let mut best: Option<((u64, u64, u64), Partition)> = None;
+    let mut trace: Vec<CycleTrace> = Vec::new();
+    let mut cycles_used = 0;
+
+    'cycles: for cycle in 0..params.max_cycles.max(1) {
+        cycles_used = cycle + 1;
+        let cycle_seed = derive_seed(params.seed, 0xC1C + cycle as u64);
+
+        // hierarchy for this cycle ("go back to coarsening phase …
+        // randomly, cyclically")
+        let hier = gp_coarsen(g, &params.matchings, params.coarsen_to, cycle_seed);
+        let levels = hier.levels.len();
+        let mid = levels / 2;
+        let sizes = hier.size_trace();
+        let matchings: Vec<_> = hier.levels.iter().map(|l| l.matching_kind).collect();
+
+        // generate intermediate clustering candidates
+        let attempts = params.intermediate_attempts.max(1);
+        let mut candidates: Vec<((u64, u64, u64), Partition)> = Vec::with_capacity(attempts);
+        for attempt in 0..attempts {
+            let attempt_seed = derive_seed(cycle_seed, attempt as u64);
+            let p0 = greedy_initial_partition(
+                hier.coarsest(),
+                k,
+                c,
+                &InitialOptions {
+                    restarts: params.initial_restarts,
+                    repair_passes: params.refine_passes,
+                    seed: attempt_seed,
+                    parallel: params.parallel,
+                },
+            );
+            // refine from the coarsest up to the intermediate level
+            let p_mid = refine_up(&hier, mid..levels, p0, c, params, attempt_seed);
+            let mid_graph = if mid < levels {
+                &hier.levels[mid].fine
+            } else {
+                hier.coarsest()
+            };
+            let goodness =
+                PartitionQuality::measure(mid_graph, &p_mid).goodness_key(c.rmax, c.bmax);
+            trace.push(CycleTrace {
+                cycle,
+                attempt,
+                hierarchy_sizes: sizes.clone(),
+                matchings: matchings.clone(),
+                mid_level: mid,
+                goodness_at_mid: goodness,
+                selected: false,
+            });
+            candidates.push((goodness, p_mid));
+        }
+
+        // a-posteriori selection of the best intermediate clustering
+        let winner_idx = candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, (good, _))| (*good, *i))
+            .map(|(i, _)| i)
+            .expect("at least one attempt");
+        let trace_base = trace.len() - attempts;
+        trace[trace_base + winner_idx].selected = true;
+        let (_, p_mid) = candidates.swap_remove(winner_idx);
+
+        // continue the winner to the top
+        let p_top = refine_up(
+            &hier,
+            0..mid,
+            p_mid,
+            c,
+            params,
+            derive_seed(cycle_seed, 0x70),
+        );
+        let quality = PartitionQuality::measure(g, &p_top);
+        let goodness = quality.goodness_key(c.rmax, c.bmax);
+
+        let is_better = match &best {
+            None => true,
+            Some((bg, _)) => goodness < *bg,
+        };
+        if is_better {
+            best = Some((goodness, p_top));
+        }
+        // feasible ⇒ violations are zero ⇒ goodness.0 == 0
+        if best.as_ref().map(|(g, _)| g.0 == 0).unwrap_or(false) {
+            break 'cycles;
+        }
+    }
+
+    let (_, partition) = best.expect("at least one cycle ran");
+    let quality = PartitionQuality::measure(g, &partition);
+    let report = c.check_quality(&quality);
+    let feasible = report.is_feasible();
+    let result = GpResult {
+        partition,
+        quality,
+        report,
+        feasible,
+        cycles_used,
+        trace,
+    };
+    if feasible {
+        Ok(result)
+    } else {
+        Err(Box::new(GpInfeasible { best: result }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppn_graph::metrics::edge_cut;
+
+    /// Four triads with light bridges — feasible for sensible constraints.
+    fn four_triads() -> WeightedGraph {
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..12).map(|i| g.add_node(30 + (i as u64 % 4) * 5)).collect();
+        for c in 0..4 {
+            let b = c * 3;
+            g.add_edge(n[b], n[b + 1], 8).unwrap();
+            g.add_edge(n[b + 1], n[b + 2], 8).unwrap();
+            g.add_edge(n[b], n[b + 2], 8).unwrap();
+        }
+        for c in 0..4 {
+            g.add_edge(n[c * 3], n[((c + 1) % 4) * 3 + 1], 2).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn feasible_instance_is_solved() {
+        let g = four_triads();
+        let c = Constraints::new(150, 20);
+        let r = gp_partition(&g, 4, &c, &GpParams::default()).expect("feasible");
+        assert!(r.feasible);
+        assert!(r.partition.is_complete());
+        assert!(c.is_feasible(&g, &r.partition));
+        assert_eq!(r.quality.total_cut, edge_cut(&g, &r.partition));
+    }
+
+    #[test]
+    fn impossible_instance_reports_infeasible() {
+        let g = four_triads();
+        // rmax below the heaviest node: provably impossible
+        let c = Constraints::new(10, 1000);
+        let err = gp_partition(&g, 4, &c, &GpParams::default()).unwrap_err();
+        assert!(!err.best.feasible);
+        assert!(err.to_string().contains("impossible"));
+        assert!(err.best.partition.is_complete());
+    }
+
+    #[test]
+    fn trace_records_attempts_and_selection() {
+        let g = four_triads();
+        let c = Constraints::new(150, 20);
+        let params = GpParams {
+            coarsen_to: 6,
+            intermediate_attempts: 3,
+            ..GpParams::default()
+        };
+        let r = gp_partition(&g, 4, &c, &params).expect("feasible");
+        assert!(!r.trace.is_empty());
+        // each cycle has exactly one selected attempt
+        for cyc in 0..r.cycles_used {
+            let selected = r
+                .trace
+                .iter()
+                .filter(|t| t.cycle == cyc && t.selected)
+                .count();
+            let total = r.trace.iter().filter(|t| t.cycle == cyc).count();
+            if total > 0 {
+                assert_eq!(selected, 1, "cycle {cyc} should select exactly one");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = four_triads();
+        let c = Constraints::new(150, 20);
+        let a = gp_partition(&g, 4, &c, &GpParams::default()).unwrap();
+        let b = gp_partition(&g, 4, &c, &GpParams::default()).unwrap();
+        assert_eq!(a.partition, b.partition);
+    }
+
+    #[test]
+    fn early_exit_on_feasibility() {
+        let g = four_triads();
+        let c = Constraints::new(500, 500); // trivially feasible
+        let r = gp_partition(&g, 2, &c, &GpParams::default()).unwrap();
+        assert_eq!(r.cycles_used, 1, "should stop after the first cycle");
+    }
+
+    #[test]
+    fn small_graph_without_coarsening_works() {
+        let g = four_triads(); // 12 nodes < coarsen_to=100 → no levels
+        let c = Constraints::new(150, 25);
+        let r = gp_partition(&g, 4, &c, &GpParams::default()).unwrap();
+        assert!(r.feasible);
+        for t in &r.trace {
+            assert_eq!(t.hierarchy_sizes.len(), 1);
+        }
+    }
+
+    #[test]
+    fn large_graph_exercises_hierarchy() {
+        // 4 communities of 60 nodes each
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..240).map(|_| g.add_node(4)).collect();
+        for comm in 0..4 {
+            let b = comm * 60;
+            for i in 0..60 {
+                g.add_edge(n[b + i], n[b + (i + 1) % 60], 10).unwrap();
+                g.add_edge(n[b + i], n[b + (i + 7) % 60], 6).unwrap();
+            }
+        }
+        for comm in 0..4 {
+            g.add_edge(n[comm * 60], n[((comm + 1) % 4) * 60 + 3], 2).unwrap();
+        }
+        let c = Constraints::new(260, 40);
+        let r = gp_partition(&g, 4, &c, &GpParams::default()).expect("feasible");
+        assert!(r.feasible);
+        assert!(
+            r.trace[0].hierarchy_sizes.len() > 1,
+            "240 nodes must trigger coarsening: {:?}",
+            r.trace[0].hierarchy_sizes
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! K-Means matching (paper §IV-A, third heuristic).
+//!
+//! The paper describes clustering nodes "on the basis of their weight"
+//! and matching "a subset of near nodes ... accordingly" (after Khan's
+//! multilevel-TSP scheme). Our concretisation, documented in DESIGN.md:
+//!
+//! 1. run 1-D Lloyd's k-means on the node *resource weights* with
+//!    `max(2, n/8)` clusters — this groups processes of similar size;
+//! 2. inside each cluster, match graph-adjacent nodes greedily by
+//!    heaviest connecting edge.
+//!
+//! The effect is a contraction whose coarse nodes have homogeneous
+//! weights — exactly what the resource-constrained initial partitioning
+//! wants to see (uneven coarse nodes make `Rmax` bin-packing needlessly
+//! hard). Pairing *within* a weight cluster is the property the paper's
+//! text emphasises; the greedy heavy-edge tie-break keeps the cut low.
+
+use ppn_graph::matching::Matching;
+use ppn_graph::prng::XorShift128Plus;
+use ppn_graph::WeightedGraph;
+
+/// 1-D Lloyd's k-means over `values`; returns the cluster index of each
+/// element. Deterministic given the seed; empty clusters are dropped.
+fn kmeans_1d(values: &[f64], k: usize, seed: u64, iters: usize) -> Vec<usize> {
+    let n = values.len();
+    let k = k.clamp(1, n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    // init: k quantile seeds over the sorted values (deterministic,
+    // spread across the range), jittered slightly by the seed for
+    // restart diversity
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut rng = XorShift128Plus::new(seed);
+    let mut centroids: Vec<f64> = (0..k)
+        .map(|i| {
+            let q = (i * (n - 1)) / k.max(1);
+            let jitter = (rng.next_u64() % 100) as f64 / 1e4;
+            sorted[q] + jitter
+        })
+        .collect();
+
+    let mut assign = vec![0usize; n];
+    for _ in 0..iters {
+        let mut changed = false;
+        for (i, &v) in values.iter().enumerate() {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    (v - **a)
+                        .abs()
+                        .partial_cmp(&(v - **b).abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(c, _)| c)
+                .unwrap_or(0);
+            if assign[i] != best {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![0.0; k];
+        let mut counts = vec![0usize; k];
+        for (i, &c) in assign.iter().enumerate() {
+            sums[c] += values[i];
+            counts[c] += 1;
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                centroids[c] = sums[c] / counts[c] as f64;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    assign
+}
+
+/// K-means matching: cluster nodes by weight, then heavy-edge match
+/// within each cluster. Nodes whose entire neighbourhood lies in other
+/// clusters stay unmatched (they survive as singletons, exactly like in
+/// the other matchings).
+pub fn kmeans_matching(g: &WeightedGraph, seed: u64) -> Matching {
+    let n = g.num_nodes();
+    let mut m = Matching::empty(n);
+    if n < 2 {
+        return m;
+    }
+    let values: Vec<f64> = g.node_ids().map(|v| g.node_weight(v) as f64).collect();
+    let k = (n / 8).max(2).min(n);
+    let clusters = kmeans_1d(&values, k, seed, 32);
+
+    // heavy-edge scan restricted to same-cluster endpoints
+    let mut edges: Vec<(u64, u32)> = g.edge_ids().map(|e| (g.edge_weight(e), e.0)).collect();
+    let mut rng = XorShift128Plus::new(seed ^ 0x4B4D_4541_4E53);
+    rng.shuffle(&mut edges);
+    edges.sort_by(|a, b| b.0.cmp(&a.0));
+    for &(_, eid) in &edges {
+        let (u, v, _) = g.edge(ppn_graph::EdgeId(eid));
+        if clusters[u.index()] != clusters[v.index()] {
+            continue;
+        }
+        if !m.is_matched(u) && !m.is_matched(v) {
+            m.add_pair(u, v);
+        }
+    }
+    // second sweep: allow cross-cluster pairs for still-unmatched nodes
+    // so the contraction keeps shrinking (pure within-cluster matching
+    // can stall on weight-diverse graphs)
+    for &(_, eid) in &edges {
+        let (u, v, _) = g.edge(ppn_graph::EdgeId(eid));
+        if !m.is_matched(u) && !m.is_matched(v) {
+            m.add_pair(u, v);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmeans_1d_separates_two_blobs() {
+        let values = vec![1.0, 1.1, 0.9, 10.0, 10.2, 9.8];
+        let assign = kmeans_1d(&values, 2, 1, 50);
+        assert_eq!(assign[0], assign[1]);
+        assert_eq!(assign[1], assign[2]);
+        assert_eq!(assign[3], assign[4]);
+        assert_eq!(assign[4], assign[5]);
+        assert_ne!(assign[0], assign[3]);
+    }
+
+    #[test]
+    fn kmeans_1d_handles_degenerate_inputs() {
+        assert!(kmeans_1d(&[], 3, 1, 10).is_empty());
+        assert_eq!(kmeans_1d(&[5.0], 3, 1, 10), vec![0]);
+        let same = kmeans_1d(&[2.0, 2.0, 2.0], 2, 1, 10);
+        assert_eq!(same.len(), 3);
+    }
+
+    #[test]
+    fn matching_is_valid_and_pairs_similar_weights() {
+        // two weight classes: 8 light (w=10) in a cycle, 8 heavy (w=100)
+        // in a cycle, one light-heavy bridge
+        let mut g = WeightedGraph::new();
+        let light: Vec<_> = (0..8).map(|_| g.add_node(10)).collect();
+        let heavy: Vec<_> = (0..8).map(|_| g.add_node(100)).collect();
+        for i in 0..8 {
+            g.add_edge(light[i], light[(i + 1) % 8], 5).unwrap();
+            g.add_edge(heavy[i], heavy[(i + 1) % 8], 5).unwrap();
+        }
+        g.add_edge(light[0], heavy[0], 5).unwrap();
+        let m = kmeans_matching(&g, 3);
+        assert!(m.validate(&g));
+        // most pairs stay within a weight class
+        let mut same_class = 0;
+        let mut cross = 0;
+        for v in g.node_ids() {
+            if let Some(u) = m.mate_of(v) {
+                if v < u {
+                    let wv = g.node_weight(v);
+                    let wu = g.node_weight(u);
+                    if wv == wu {
+                        same_class += 1;
+                    } else {
+                        cross += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            same_class >= 6,
+            "expected mostly within-class pairs, got {same_class} same / {cross} cross"
+        );
+    }
+
+    #[test]
+    fn matching_deterministic_per_seed() {
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..10).map(|i| g.add_node(1 + i % 3)).collect();
+        for i in 0..10 {
+            g.add_edge(n[i], n[(i + 1) % 10], 1 + (i as u64 % 4)).unwrap();
+        }
+        assert_eq!(kmeans_matching(&g, 5), kmeans_matching(&g, 5));
+    }
+
+    #[test]
+    fn single_node_graph_unmatched() {
+        let g = WeightedGraph::with_uniform_nodes(1, 4);
+        let m = kmeans_matching(&g, 1);
+        assert_eq!(m.matched_nodes(), 0);
+    }
+}

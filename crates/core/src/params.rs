@@ -1,0 +1,140 @@
+//! Tuning parameters of the GP algorithm, with the paper's defaults.
+
+use serde::{Deserialize, Serialize};
+
+/// Which matching heuristics the coarsening phase may use (§IV-A lists
+/// three; all are tried per level and the best contraction is kept).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatchingKind {
+    /// Random maximal matching.
+    Random,
+    /// Heavy-edge matching (descending edge-weight scan).
+    HeavyEdge,
+    /// K-means matching (weight-clustered pairing).
+    KMeans,
+}
+
+impl MatchingKind {
+    /// All three heuristics, the paper's configuration.
+    pub const ALL: [MatchingKind; 3] = [
+        MatchingKind::Random,
+        MatchingKind::HeavyEdge,
+        MatchingKind::KMeans,
+    ];
+}
+
+impl std::fmt::Display for MatchingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchingKind::Random => write!(f, "random"),
+            MatchingKind::HeavyEdge => write!(f, "heavy-edge"),
+            MatchingKind::KMeans => write!(f, "k-means"),
+        }
+    }
+}
+
+/// Parameters of [`GpPartitioner`](crate::GpPartitioner).
+///
+/// Defaults follow the paper: coarsen to 100 nodes, 10 initial-
+/// partitioning restarts, all three matching heuristics, and a bounded
+/// number of constraint-repair cycles before reporting infeasibility.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GpParams {
+    /// Coarsening stops at this many nodes ("default is 100", §IV).
+    pub coarsen_to: usize,
+    /// Random restarts of the greedy initial partitioning ("10 is
+    /// default", §IV-B).
+    pub initial_restarts: usize,
+    /// Matching heuristics tried at every coarsening level.
+    pub matchings: Vec<MatchingKind>,
+    /// Maximum cyclic un-coarsen/re-coarsen V-cycles before the
+    /// partitioner reports that the constraints look unsatisfiable
+    /// ("a predetermined number of iterations", §IV-C).
+    pub max_cycles: usize,
+    /// Intermediate re-clusterings explored per cycle, compared with the
+    /// goodness function ("we generate different intermediate
+    /// clusterings, that are compared a posteriori", §IV).
+    pub intermediate_attempts: usize,
+    /// Constrained-refinement sweeps per hierarchy level.
+    pub refine_passes: usize,
+    /// Root seed for every stochastic component.
+    pub seed: u64,
+    /// Evaluate restarts/matchings in parallel with rayon (results are
+    /// identical either way; selection uses a total order).
+    pub parallel: bool,
+}
+
+impl Default for GpParams {
+    fn default() -> Self {
+        GpParams {
+            coarsen_to: 100,
+            initial_restarts: 10,
+            matchings: MatchingKind::ALL.to_vec(),
+            max_cycles: 10,
+            intermediate_attempts: 3,
+            refine_passes: 8,
+            seed: 0xCA77A,
+            parallel: true,
+        }
+    }
+}
+
+impl GpParams {
+    /// Same parameters, different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Restrict the matching heuristics (ablation studies).
+    pub fn with_matchings(mut self, matchings: Vec<MatchingKind>) -> Self {
+        assert!(!matchings.is_empty(), "at least one matching required");
+        self.matchings = matchings;
+        self
+    }
+
+    /// Disable the cyclic re-coarsening (single V-cycle; ablation).
+    pub fn single_cycle(mut self) -> Self {
+        self.max_cycles = 1;
+        self.intermediate_attempts = 1;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = GpParams::default();
+        assert_eq!(p.coarsen_to, 100);
+        assert_eq!(p.initial_restarts, 10);
+        assert_eq!(p.matchings.len(), 3);
+        assert!(p.max_cycles >= 1);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = GpParams::default()
+            .with_seed(7)
+            .with_matchings(vec![MatchingKind::HeavyEdge])
+            .single_cycle();
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.matchings, vec![MatchingKind::HeavyEdge]);
+        assert_eq!(p.max_cycles, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_matchings_rejected() {
+        let _ = GpParams::default().with_matchings(vec![]);
+    }
+
+    #[test]
+    fn matching_kind_display() {
+        assert_eq!(MatchingKind::Random.to_string(), "random");
+        assert_eq!(MatchingKind::HeavyEdge.to_string(), "heavy-edge");
+        assert_eq!(MatchingKind::KMeans.to_string(), "k-means");
+    }
+}

@@ -1,0 +1,514 @@
+//! Constrained FM-style k-way refinement (paper §IV-B/C).
+//!
+//! The refinement run during un-coarsening differs from METIS-style
+//! boundary refinement in its move admissibility and objective: the
+//! primary objective is *constraint satisfaction* — per-pair bandwidth
+//! `Bmax` and per-part resources `Rmax` — and only secondarily the total
+//! cut. A move is taken when it lexicographically improves
+//! `(violation magnitude, total cut)`; moves that would create or worsen
+//! a violation are inadmissible.
+//!
+//! [`ConstrainedState`] keeps the K×K pairwise-traffic matrix and part
+//! weights incrementally up to date, so evaluating a candidate move costs
+//! O(degree) and applying it costs the same.
+
+use ppn_graph::metrics::CutMatrix;
+use ppn_graph::prng::{derive_seed, XorShift128Plus};
+use ppn_graph::{Constraints, NodeId, Partition, WeightedGraph};
+
+/// Incrementally-maintained constraint bookkeeping for a partition.
+#[derive(Clone, Debug)]
+pub struct ConstrainedState {
+    /// Pairwise inter-part traffic.
+    pub cut: CutMatrix,
+    /// Per-part resource usage.
+    pub part_weights: Vec<u64>,
+    /// Per-part node counts.
+    pub part_sizes: Vec<usize>,
+    /// Current total cut.
+    pub total_cut: u64,
+}
+
+/// Effect of a candidate move, measured lexicographically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MoveDelta {
+    /// Change in total violation magnitude (bandwidth + resource).
+    pub dviol: i64,
+    /// Change in total cut.
+    pub dcut: i64,
+}
+
+impl MoveDelta {
+    /// Strictly improving under the lexicographic objective.
+    pub fn improves(&self) -> bool {
+        self.dviol < 0 || (self.dviol == 0 && self.dcut < 0)
+    }
+}
+
+impl ConstrainedState {
+    /// Build the state for a complete partition.
+    pub fn new(g: &WeightedGraph, p: &Partition) -> Self {
+        let cut = CutMatrix::compute(g, p);
+        let total_cut = cut.total_cut();
+        ConstrainedState {
+            cut,
+            part_weights: p.part_weights(g),
+            part_sizes: p.part_sizes(),
+            total_cut,
+        }
+    }
+
+    /// Current violation magnitude against `c`.
+    pub fn violation(&self, c: &Constraints) -> u64 {
+        c.violation_magnitude(&self.cut, &self.part_weights)
+    }
+
+    /// True when all constraints hold.
+    pub fn feasible(&self, c: &Constraints) -> bool {
+        self.violation(c) == 0
+    }
+
+    /// Evaluate moving `v` from its current part to `to` without
+    /// mutating anything. `scratch` must be a zeroed `k`-length buffer
+    /// (used and re-zeroed internally).
+    pub fn evaluate_move(
+        &self,
+        g: &WeightedGraph,
+        p: &Partition,
+        c: &Constraints,
+        v: NodeId,
+        to: u32,
+        scratch: &mut Vec<(usize, i64)>,
+    ) -> MoveDelta {
+        let from = p.part_of(v);
+        debug_assert_ne!(from, Partition::UNASSIGNED);
+        if from == to {
+            return MoveDelta { dviol: 0, dcut: 0 };
+        }
+        let k = self.cut.k();
+        let (f, t) = (from as usize, to as usize);
+
+        // per-pair traffic deltas caused by the move
+        scratch.clear();
+        let push = |scratch: &mut Vec<(usize, i64)>, a: usize, b: usize, d: i64| {
+            if a == b {
+                return;
+            }
+            let key = if a < b { a * k + b } else { b * k + a };
+            if let Some(e) = scratch.iter_mut().find(|(p, _)| *p == key) {
+                e.1 += d;
+            } else {
+                scratch.push((key, d));
+            }
+        };
+        let mut dcut = 0i64;
+        for &(u, e) in g.neighbors(v) {
+            let q = p.part_of(u);
+            if q == Partition::UNASSIGNED {
+                continue;
+            }
+            let w = g.edge_weight(e) as i64;
+            let q = q as usize;
+            if q != f {
+                push(scratch, f, q, -w);
+                dcut -= w;
+            }
+            if q != t {
+                push(scratch, t, q, w);
+                dcut += w;
+            }
+        }
+
+        // bandwidth violation delta over affected pairs
+        let bmax = c.bmax as i64;
+        let mut dviol = 0i64;
+        for &(key, d) in scratch.iter() {
+            let (a, b) = (key / k, key % k);
+            let cur = self.cut.get(a, b) as i64;
+            let before = (cur - bmax).max(0);
+            let after = (cur + d - bmax).max(0);
+            dviol += after - before;
+        }
+
+        // resource violation delta on the two parts
+        let wv = g.node_weight(v) as i64;
+        let rmax = c.rmax as i64;
+        let wf = self.part_weights[f] as i64;
+        let wt = self.part_weights[t] as i64;
+        dviol += ((wt + wv - rmax).max(0) - (wt - rmax).max(0))
+            - ((wf - rmax).max(0) - (wf - wv - rmax).max(0));
+
+        MoveDelta { dviol, dcut }
+    }
+
+    /// Apply the move `v → to`, updating partition and bookkeeping.
+    pub fn apply_move(&mut self, g: &WeightedGraph, p: &mut Partition, v: NodeId, to: u32) {
+        let from = p.part_of(v);
+        if from == to {
+            return;
+        }
+        self.cut.apply_move(g, p, v, from, to);
+        let wv = g.node_weight(v);
+        self.part_weights[from as usize] -= wv;
+        self.part_weights[to as usize] += wv;
+        self.part_sizes[from as usize] -= 1;
+        self.part_sizes[to as usize] += 1;
+        p.assign(v, to);
+        self.total_cut = self.cut.total_cut();
+    }
+}
+
+/// Options for [`constrained_refine`].
+#[derive(Clone, Debug)]
+pub struct RefineOptions {
+    /// Maximum sweeps.
+    pub max_passes: usize,
+    /// Visit-order seed.
+    pub seed: u64,
+    /// Never empty a part.
+    pub protect_nonempty: bool,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        RefineOptions {
+            max_passes: 8,
+            seed: 1,
+            protect_nonempty: true,
+        }
+    }
+}
+
+/// Constrained refinement sweep: nodes are visited in random order; each
+/// node moves to the neighbouring part with the best strictly-improving
+/// `(Δviolation, Δcut)`. Returns the number of moves applied.
+///
+/// The cut never increases while violations are zero; violations never
+/// increase, period.
+pub fn constrained_refine(
+    g: &WeightedGraph,
+    p: &mut Partition,
+    c: &Constraints,
+    opts: &RefineOptions,
+) -> usize {
+    assert!(p.is_complete(), "refinement needs a complete partition");
+    let k = p.k();
+    let mut state = ConstrainedState::new(g, p);
+    let mut rng = XorShift128Plus::new(derive_seed(opts.seed, 0xC0F1));
+    let mut scratch: Vec<(usize, i64)> = Vec::new();
+    let mut total_moves = 0;
+
+    for _ in 0..opts.max_passes {
+        let mut order: Vec<NodeId> = g.node_ids().collect();
+        rng.shuffle(&mut order);
+        let mut moves = 0;
+        for v in order {
+            let from = p.part_of(v) as usize;
+            if opts.protect_nonempty && state.part_sizes[from] == 1 {
+                continue;
+            }
+            // candidate targets: parts in the neighbourhood (cut can only
+            // improve toward those), plus — when the source part violates
+            // Rmax — the lightest part (pure resource escape).
+            let mut candidates: Vec<u32> = Vec::new();
+            for &(u, _) in g.neighbors(v) {
+                let q = p.part_of(u);
+                if q != from as u32 && !candidates.contains(&q) {
+                    candidates.push(q);
+                }
+            }
+            if state.part_weights[from] > c.rmax {
+                if let Some(light) = (0..k as u32)
+                    .filter(|&t| t as usize != from)
+                    .min_by_key(|&t| state.part_weights[t as usize])
+                {
+                    if !candidates.contains(&light) {
+                        candidates.push(light);
+                    }
+                }
+            }
+            let mut best: Option<(MoveDelta, u32)> = None;
+            for &t in &candidates {
+                let d = state.evaluate_move(g, p, c, v, t, &mut scratch);
+                if !d.improves() {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((bd, bt)) => {
+                        (d.dviol, d.dcut, t) < (bd.dviol, bd.dcut, *bt)
+                    }
+                };
+                if better {
+                    best = Some((d, t));
+                }
+            }
+            if let Some((_, t)) = best {
+                state.apply_move(g, p, v, t);
+                moves += 1;
+            }
+        }
+        total_moves += moves;
+        if moves == 0 {
+            // single moves exhausted: when resources are still violated,
+            // try pairwise exchanges — tight packings (every part close
+            // to Rmax) are unreachable by single moves because any move
+            // overshoots the receiving part
+            let swaps = swap_pass(g, p, c, &mut state);
+            total_moves += swaps;
+            if swaps == 0 {
+                break;
+            }
+        }
+    }
+    total_moves
+}
+
+/// One pass of violation-reducing pairwise exchanges between a
+/// resource-violating part and every other part. A swap is accepted
+/// only if it strictly reduces `(violation, cut)` lexicographically;
+/// the exact effect (including bandwidth) is evaluated by applying both
+/// moves on a scratch copy of the state. Returns the number of swaps.
+fn swap_pass(
+    g: &WeightedGraph,
+    p: &mut Partition,
+    c: &Constraints,
+    state: &mut ConstrainedState,
+) -> usize {
+    let k = p.k();
+    let mut swaps = 0;
+    let mut progress = true;
+    while progress && state.violation(c) > 0 {
+        progress = false;
+        let Some(over) = (0..k).find(|&a| state.part_weights[a] > c.rmax) else {
+            break;
+        };
+        let viol_before = state.violation(c) as i64;
+        let cut_before = state.total_cut as i64;
+        let members = p.members();
+        let mut best: Option<((i64, i64), NodeId, NodeId)> = None;
+        for &u in &members[over] {
+            let wu = g.node_weight(u);
+            for b in (0..k).filter(|&b| b != over) {
+                for &v in &members[b] {
+                    let wv = g.node_weight(v);
+                    if wv >= wu {
+                        continue; // swap must lighten the violating part
+                    }
+                    // cheap resource prefilter before the exact check
+                    let wa = state.part_weights[over];
+                    let wb = state.part_weights[b];
+                    let res_before = (wa as i64 - c.rmax as i64).max(0)
+                        + (wb as i64 - c.rmax as i64).max(0);
+                    let res_after = ((wa - wu + wv) as i64 - c.rmax as i64).max(0)
+                        + ((wb - wv + wu) as i64 - c.rmax as i64).max(0);
+                    if res_after >= res_before {
+                        continue;
+                    }
+                    // exact evaluation on a scratch copy
+                    let mut s2 = state.clone();
+                    let mut p2 = p.clone();
+                    s2.apply_move(g, &mut p2, u, b as u32);
+                    s2.apply_move(g, &mut p2, v, over as u32);
+                    let d = (
+                        s2.violation(c) as i64 - viol_before,
+                        s2.total_cut as i64 - cut_before,
+                    );
+                    if d.0 < 0 || (d.0 == 0 && d.1 < 0) {
+                        match best {
+                            Some((bd, _, _)) if bd <= d => {}
+                            _ => best = Some((d, u, v)),
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((_, u, v)) = best {
+            let bu = p.part_of(v);
+            state.apply_move(g, p, u, bu);
+            state.apply_move(g, p, v, over as u32);
+            swaps += 1;
+            progress = true;
+        }
+    }
+    swaps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppn_graph::metrics::edge_cut;
+
+    /// Two heavy producer-consumer pairs plus a moderate cross stream:
+    /// the min-cut bisection routes 30 units over one pair — infeasible
+    /// for Bmax = 20; the fix splits the traffic differently.
+    fn bw_tension() -> WeightedGraph {
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..6).map(|_| g.add_node(10)).collect();
+        g.add_edge(n[0], n[1], 100).unwrap();
+        g.add_edge(n[2], n[3], 100).unwrap();
+        g.add_edge(n[1], n[2], 15).unwrap();
+        g.add_edge(n[3], n[4], 15).unwrap();
+        g.add_edge(n[4], n[5], 100).unwrap();
+        g
+    }
+
+    #[test]
+    fn state_matches_fresh_measurement_after_moves() {
+        let g = bw_tension();
+        let mut p = Partition::from_assignment(vec![0, 0, 1, 1, 2, 2], 3).unwrap();
+        let mut s = ConstrainedState::new(&g, &p);
+        s.apply_move(&g, &mut p, NodeId(1), 1);
+        s.apply_move(&g, &mut p, NodeId(4), 0);
+        let fresh = ConstrainedState::new(&g, &p);
+        assert_eq!(s.cut, fresh.cut);
+        assert_eq!(s.part_weights, fresh.part_weights);
+        assert_eq!(s.total_cut, fresh.total_cut);
+    }
+
+    #[test]
+    fn evaluate_matches_apply() {
+        let g = bw_tension();
+        let c = Constraints::new(25, 20);
+        let mut scratch = Vec::new();
+        for to in 0..3u32 {
+            for vi in 0..6u32 {
+                let mut p = Partition::from_assignment(vec![0, 0, 1, 1, 2, 2], 3).unwrap();
+                let s = ConstrainedState::new(&g, &p);
+                let viol_before = s.violation(&c) as i64;
+                let cut_before = s.total_cut as i64;
+                let d = s.evaluate_move(&g, &p, &c, NodeId(vi), to, &mut scratch);
+                let mut s2 = s.clone();
+                s2.apply_move(&g, &mut p, NodeId(vi), to);
+                assert_eq!(
+                    d.dviol,
+                    s2.violation(&c) as i64 - viol_before,
+                    "node {vi} → {to}: violation delta mismatch"
+                );
+                assert_eq!(
+                    d.dcut,
+                    s2.total_cut as i64 - cut_before,
+                    "node {vi} → {to}: cut delta mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_reduces_cut_without_violating() {
+        let g = bw_tension();
+        let c = Constraints::new(30, 200);
+        // scrambled start
+        let mut p = Partition::from_assignment(vec![0, 1, 0, 1, 0, 1], 2).unwrap();
+        let before = edge_cut(&g, &p);
+        constrained_refine(&g, &mut p, &c, &RefineOptions::default());
+        let after = edge_cut(&g, &p);
+        assert!(after <= before);
+        assert!(c.is_feasible(&g, &p), "refinement must keep feasibility reachable");
+    }
+
+    #[test]
+    fn refinement_repairs_bandwidth_violation() {
+        // a -20- b -5- c -20- d, with b on the wrong side: pair traffic
+        // 20 > Bmax 10; moving b over drops it to 5.
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(10)).collect();
+        g.add_edge(n[0], n[1], 20).unwrap();
+        g.add_edge(n[1], n[2], 5).unwrap();
+        g.add_edge(n[2], n[3], 20).unwrap();
+        let c = Constraints::new(100, 10);
+        let mut p = Partition::from_assignment(vec![0, 1, 1, 1], 2).unwrap();
+        let s = ConstrainedState::new(&g, &p);
+        assert_eq!(s.violation(&c), 10, "start must violate for the test to bite");
+        constrained_refine(&g, &mut p, &c, &RefineOptions::default());
+        let s2 = ConstrainedState::new(&g, &p);
+        assert_eq!(s2.violation(&c), 0, "single-move repair should succeed");
+        assert!(c.is_feasible(&g, &p));
+    }
+
+    #[test]
+    fn refinement_repairs_resource_violation() {
+        // part 1 overweight; moving any one node over fixes it without
+        // touching a heavy edge
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..5).map(|_| g.add_node(10)).collect();
+        for w in n.windows(2) {
+            g.add_edge(w[0], w[1], 2).unwrap();
+        }
+        let c = Constraints::new(30, 100);
+        let mut p = Partition::from_assignment(vec![0, 1, 1, 1, 1], 2).unwrap();
+        assert!(ConstrainedState::new(&g, &p).violation(&c) > 0);
+        constrained_refine(&g, &mut p, &c, &RefineOptions::default());
+        assert!(c.is_feasible(&g, &p), "resource repair should succeed");
+    }
+
+    #[test]
+    fn violations_never_increase() {
+        let g = bw_tension();
+        let c = Constraints::new(30, 18);
+        for seed in 0..8 {
+            let assign: Vec<u32> = (0..6).map(|i| ((i + seed) % 3) as u32).collect();
+            let mut p = Partition::from_assignment(assign, 3).unwrap();
+            let v_before = ConstrainedState::new(&g, &p).violation(&c);
+            constrained_refine(
+                &g,
+                &mut p,
+                &c,
+                &RefineOptions {
+                    seed: seed as u64,
+                    ..Default::default()
+                },
+            );
+            let v_after = ConstrainedState::new(&g, &p).violation(&c);
+            assert!(v_after <= v_before, "seed {seed}: {v_before} -> {v_after}");
+        }
+    }
+
+    #[test]
+    fn protect_nonempty_holds() {
+        let g = bw_tension();
+        let c = Constraints::unconstrained();
+        let mut p = Partition::from_assignment(vec![0, 1, 1, 1, 1, 1], 2).unwrap();
+        constrained_refine(&g, &mut p, &c, &RefineOptions::default());
+        assert!(p.part_sizes().iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn swap_pass_solves_tight_packing() {
+        // two parts at 135 and 124 with Rmax 133: no single move helps
+        // (every node weighs ≥ 30, so any move overshoots the receiving
+        // part), but swapping 45 ↔ 40 lands at 130/129.
+        let mut g = WeightedGraph::new();
+        let a = g.add_node(60);
+        let b = g.add_node(45);
+        let c0 = g.add_node(30);
+        let d = g.add_node(40);
+        let e = g.add_node(49);
+        let f = g.add_node(35);
+        g.add_edge(a, b, 9).unwrap();
+        g.add_edge(b, c0, 9).unwrap();
+        g.add_edge(d, e, 9).unwrap();
+        g.add_edge(e, f, 9).unwrap();
+        g.add_edge(c0, d, 3).unwrap();
+        let cons = Constraints::new(133, 1000);
+        let mut p = Partition::from_assignment(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        assert_eq!(ConstrainedState::new(&g, &p).violation(&cons), 2);
+        let moves = constrained_refine(&g, &mut p, &cons, &RefineOptions::default());
+        assert!(moves > 0, "the swap pass must engage");
+        assert!(
+            cons.is_feasible(&g, &p),
+            "swap should repair the packing: weights {:?}",
+            p.part_weights(&g)
+        );
+    }
+
+    #[test]
+    fn feasible_stays_feasible() {
+        let g = bw_tension();
+        let c = Constraints::new(30, 120);
+        let mut p = Partition::from_assignment(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        assert!(c.is_feasible(&g, &p));
+        constrained_refine(&g, &mut p, &c, &RefineOptions::default());
+        assert!(c.is_feasible(&g, &p));
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the GP partitioner's invariants.
+
+use gp_core::coarsen::{gp_coarsen, run_matching};
+use gp_core::refine::{constrained_refine, ConstrainedState, RefineOptions};
+use gp_core::{gp_partition, GpParams, MatchingKind};
+use ppn_graph::metrics::{edge_cut, PartitionQuality};
+use ppn_graph::{Constraints, NodeId, Partition, WeightedGraph};
+use proptest::prelude::*;
+
+/// Random connected-ish graph strategy (spanning chain + mask edges).
+fn arb_graph() -> impl Strategy<Value = WeightedGraph> {
+    (4usize..20, any::<u64>(), 1u64..40, 1u64..12).prop_map(|(n, mask, wmax, emax)| {
+        let mut g = WeightedGraph::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| g.add_node(1 + (mask.rotate_left(i as u32 * 3) % wmax)))
+            .collect();
+        for i in 1..n {
+            let w = 1 + (mask.rotate_right(i as u32) % emax);
+            g.add_edge(ids[i - 1], ids[i], w).unwrap();
+        }
+        let mut bit = 1u32;
+        for i in 0..n {
+            for j in (i + 2)..n {
+                bit = bit.wrapping_add(7);
+                if (mask.rotate_left(bit) & 7) == 0 {
+                    let w = 1 + (mask.rotate_right(bit) % emax);
+                    let _ = g.add_edge(ids[i], ids[j], w);
+                }
+            }
+        }
+        g
+    })
+}
+
+fn arb_partition(n: usize, k: usize, seed: u64) -> Partition {
+    let assign: Vec<u32> = (0..n)
+        .map(|i| ((seed.rotate_left(i as u32 * 5) ^ i as u64) % k as u64) as u32)
+        .collect();
+    Partition::from_assignment(assign, k).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_matchings_are_valid(g in arb_graph(), seed in any::<u64>()) {
+        for kind in MatchingKind::ALL {
+            let m = run_matching(kind, &g, seed);
+            prop_assert!(m.validate(&g), "{kind} produced an invalid matching");
+        }
+    }
+
+    #[test]
+    fn hierarchy_preserves_weight_for_any_matching_mix(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        target in 2usize..8
+    ) {
+        let h = gp_coarsen(&g, &MatchingKind::ALL, target, seed);
+        prop_assert_eq!(h.coarsest().total_node_weight(), g.total_node_weight());
+        let trace = h.size_trace();
+        prop_assert!(trace.windows(2).all(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    fn refinement_never_worsens_violation_or_feasible_cut(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        k in 2usize..5,
+        rmax_frac in 3u64..8,
+        bmax_frac in 2u64..8
+    ) {
+        let c = Constraints::new(
+            (g.total_node_weight() * rmax_frac / (2 * k as u64)).max(1),
+            (g.total_edge_weight() * bmax_frac / 8).max(1),
+        );
+        let mut p = arb_partition(g.num_nodes(), k, seed);
+        let before = ConstrainedState::new(&g, &p);
+        let v_before = before.violation(&c);
+        let cut_before = edge_cut(&g, &p);
+        constrained_refine(&g, &mut p, &c, &RefineOptions {
+            seed,
+            ..Default::default()
+        });
+        let after = ConstrainedState::new(&g, &p);
+        prop_assert!(after.violation(&c) <= v_before,
+            "violation rose: {} -> {}", v_before, after.violation(&c));
+        if v_before == 0 {
+            prop_assert!(edge_cut(&g, &p) <= cut_before,
+                "feasible cut rose: {} -> {}", cut_before, edge_cut(&g, &p));
+        }
+        prop_assert!(p.is_complete());
+    }
+
+    #[test]
+    fn gp_verdict_is_correct(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        k in 2usize..4
+    ) {
+        // generous constraints: GP must succeed and its answer must be
+        // genuinely feasible
+        let c = Constraints::new(g.total_node_weight(), g.total_edge_weight());
+        let params = GpParams { max_cycles: 2, initial_restarts: 4, ..GpParams::default() }
+            .with_seed(seed);
+        match gp_partition(&g, k, &c, &params) {
+            Ok(r) => {
+                prop_assert!(r.feasible);
+                prop_assert!(c.is_feasible(&g, &r.partition));
+                let q = PartitionQuality::measure(&g, &r.partition);
+                prop_assert_eq!(q.total_cut, r.quality.total_cut);
+            }
+            Err(_) => prop_assert!(false, "generous constraints must be feasible"),
+        }
+    }
+
+    #[test]
+    fn gp_never_lies_about_feasibility(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        rmax in 1u64..60,
+        bmax in 1u64..30
+    ) {
+        // arbitrary (often impossible) constraints: whatever GP returns,
+        // its feasibility verdict must agree with an independent check
+        let c = Constraints::new(rmax, bmax);
+        let params = GpParams { max_cycles: 2, initial_restarts: 3, ..GpParams::default() }
+            .with_seed(seed);
+        match gp_partition(&g, 3.min(g.num_nodes()), &c, &params) {
+            Ok(r) => prop_assert!(c.is_feasible(&g, &r.partition)),
+            Err(e) => {
+                prop_assert!(!c.is_feasible(&g, &e.best.partition));
+                prop_assert!(e.best.partition.is_complete());
+            }
+        }
+    }
+
+    #[test]
+    fn move_evaluation_always_matches_application(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        k in 2usize..5,
+        node in any::<u32>(),
+        to in any::<u32>()
+    ) {
+        let mut p = arb_partition(g.num_nodes(), k, seed);
+        let c = Constraints::new(
+            g.total_node_weight() / k as u64 + 1,
+            g.total_edge_weight() / 3 + 1,
+        );
+        let v = NodeId(node % g.num_nodes() as u32);
+        let t = to % k as u32;
+        let s = ConstrainedState::new(&g, &p);
+        let mut scratch = Vec::new();
+        let d = s.evaluate_move(&g, &p, &c, v, t, &mut scratch);
+        let (v0, c0) = (s.violation(&c) as i64, s.total_cut as i64);
+        let mut s2 = s.clone();
+        s2.apply_move(&g, &mut p, v, t);
+        prop_assert_eq!(d.dviol, s2.violation(&c) as i64 - v0);
+        prop_assert_eq!(d.dcut, s2.total_cut as i64 - c0);
+    }
+}

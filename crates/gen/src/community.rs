@@ -1,0 +1,88 @@
+//! Planted-partition ("community") graphs: known-good clusterings for
+//! scaling and quality studies.
+
+use ppn_graph::prng::XorShift128Plus;
+use ppn_graph::{NodeId, WeightedGraph};
+
+/// Generate `communities` clusters of `size` nodes each. Within a
+/// cluster nodes form a random sparse subgraph of heavy edges
+/// (`intra_weight`), clusters are joined in a ring by light bridges
+/// (`inter_weight`). An ideal k-way partition (k = communities) cuts
+/// exactly the bridges.
+pub fn community_graph(
+    communities: usize,
+    size: usize,
+    node_weight: u64,
+    intra_weight: u64,
+    inter_weight: u64,
+    seed: u64,
+) -> WeightedGraph {
+    assert!(communities >= 1 && size >= 1);
+    let mut rng = XorShift128Plus::new(seed);
+    let mut g = WeightedGraph::new();
+    for _ in 0..communities * size {
+        g.add_node(node_weight.max(1));
+    }
+    let id = |c: usize, i: usize| NodeId::from_index(c * size + i);
+    for c in 0..communities {
+        // ring inside the community plus some chords
+        for i in 0..size {
+            if size > 1 {
+                g.add_or_merge_edge(id(c, i), id(c, (i + 1) % size), intra_weight)
+                    .unwrap();
+            }
+        }
+        for _ in 0..size / 2 {
+            let a = rng.next_below(size);
+            let b = rng.next_below(size);
+            if a != b {
+                let _ = g.add_or_merge_edge(id(c, a), id(c, b), intra_weight);
+            }
+        }
+    }
+    for c in 0..communities {
+        if communities > 1 {
+            g.add_or_merge_edge(id(c, 0), id((c + 1) % communities, size / 2), inter_weight)
+                .unwrap();
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppn_graph::algo::components::is_connected;
+    use ppn_graph::metrics::edge_cut;
+    use ppn_graph::Partition;
+
+    #[test]
+    fn structure_is_connected_with_cheap_ideal_cut() {
+        let g = community_graph(4, 8, 5, 20, 1, 3);
+        assert_eq!(g.num_nodes(), 32);
+        assert!(is_connected(&g));
+        // ideal partition: one community per part
+        let assign: Vec<u32> = (0..32).map(|i| (i / 8) as u32).collect();
+        let p = Partition::from_assignment(assign, 4).unwrap();
+        // cut = the 4 ring bridges (weight 1 each), possibly merged
+        assert!(edge_cut(&g, &p) <= 8, "cut {}", edge_cut(&g, &p));
+    }
+
+    #[test]
+    fn single_community_has_no_bridges() {
+        let g = community_graph(1, 6, 2, 7, 1, 1);
+        assert_eq!(g.num_nodes(), 6);
+        let p = Partition::all_in_one(6, 1);
+        assert_eq!(edge_cut(&g, &p), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = community_graph(3, 5, 2, 9, 1, 42);
+        let b = community_graph(3, 5, 2, 9, 1, 42);
+        assert_eq!(
+            ppn_graph::io::metis::write(&a),
+            ppn_graph::io::metis::write(&b)
+        );
+    }
+}

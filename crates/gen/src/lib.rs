@@ -1,0 +1,21 @@
+//! # ppn-gen
+//!
+//! Workload generators for the experiments:
+//!
+//! * [`random`] — seeded random weighted graphs (connected, exact edge
+//!   counts) and layered random process networks;
+//! * [`community`] — planted-partition graphs with known cluster
+//!   structure (scaling studies);
+//! * [`paper`] — the three 12-node experiment instances of the paper's
+//!   evaluation (§V), reconstructed from the published node/edge counts,
+//!   weight scales and constraints — the exact adjacency was never
+//!   published, so these are seeded synthetic stand-ins chosen to
+//!   reproduce the paper's qualitative outcome (see DESIGN.md §3).
+
+pub mod community;
+pub mod paper;
+pub mod random;
+
+pub use community::community_graph;
+pub use paper::{all_experiments, experiment1, experiment2, experiment3, Experiment, PaperRow};
+pub use random::{random_graph, random_layered_ppn, RandomGraphSpec};

@@ -1,0 +1,144 @@
+//! Coarsening: heavy-edge matching + contraction, repeated until the
+//! graph is small enough to partition directly.
+
+use gp_classic::matching::heavy_edge_matching_node_scan;
+use ppn_graph::contract::{contract, CoarseMap};
+use ppn_graph::prng::derive_seed;
+use ppn_graph::WeightedGraph;
+
+/// One level of the multilevel hierarchy: the fine graph and the map
+/// from it to the next-coarser graph.
+#[derive(Clone, Debug)]
+pub struct Level {
+    /// The finer graph at this level.
+    pub fine: WeightedGraph,
+    /// Fine→coarse node map.
+    pub map: CoarseMap,
+}
+
+/// A coarsening hierarchy. `levels[0].fine` is the input graph; the
+/// coarsest graph is stored separately.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// Fine graphs with their contraction maps, finest first.
+    pub levels: Vec<Level>,
+    coarsest: WeightedGraph,
+}
+
+impl Hierarchy {
+    /// The coarsest graph of the hierarchy.
+    pub fn coarsest(&self) -> &WeightedGraph {
+        &self.coarsest
+    }
+
+    /// Number of graphs in the hierarchy (levels + 1).
+    pub fn depth(&self) -> usize {
+        self.levels.len() + 1
+    }
+}
+
+/// Coarsen `g` with heavy-edge matching until at most `coarsen_to` nodes
+/// remain or the matching stops shrinking the graph (reduction below 10%
+/// — e.g. star graphs, which have no large matchings).
+pub fn coarsen_hierarchy(g: &WeightedGraph, coarsen_to: usize, seed: u64) -> Hierarchy {
+    let mut levels = Vec::new();
+    let mut current = g.clone();
+    let mut round = 0u64;
+    while current.num_nodes() > coarsen_to {
+        let m = heavy_edge_matching_node_scan(&current, derive_seed(seed, 0xC0A5 + round));
+        let coarse_nodes = m.coarse_node_count();
+        // stalled: e.g. a star matches only one pair per round
+        if coarse_nodes as f64 > current.num_nodes() as f64 * 0.95 {
+            break;
+        }
+        let (coarse, map) = contract(&current, &m);
+        levels.push(Level {
+            fine: current,
+            map,
+        });
+        current = coarse;
+        round += 1;
+    }
+    Hierarchy {
+        levels,
+        coarsest: current,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(w: usize, h: usize) -> WeightedGraph {
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..w * h).map(|_| g.add_node(1)).collect();
+        for r in 0..h {
+            for c in 0..w {
+                let i = r * w + c;
+                if c + 1 < w {
+                    g.add_edge(n[i], n[i + 1], 1).unwrap();
+                }
+                if r + 1 < h {
+                    g.add_edge(n[i], n[i + w], 1).unwrap();
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn hierarchy_reaches_target_size() {
+        let g = grid(20, 20); // 400 nodes
+        let h = coarsen_hierarchy(&g, 100, 1);
+        assert!(h.coarsest().num_nodes() <= 100);
+        assert!(h.depth() >= 2);
+    }
+
+    #[test]
+    fn weights_preserved_through_hierarchy() {
+        let g = grid(16, 16);
+        let h = coarsen_hierarchy(&g, 50, 2);
+        assert_eq!(
+            h.coarsest().total_node_weight(),
+            g.total_node_weight()
+        );
+        for level in &h.levels {
+            level.fine.validate().unwrap();
+        }
+        h.coarsest().validate().unwrap();
+    }
+
+    #[test]
+    fn small_graph_is_not_coarsened() {
+        let g = grid(3, 3);
+        let h = coarsen_hierarchy(&g, 100, 3);
+        assert_eq!(h.depth(), 1);
+        assert_eq!(h.coarsest().num_nodes(), 9);
+    }
+
+    #[test]
+    fn star_graph_coarsening_terminates() {
+        // a star can only contract one pair per round: the stall guard
+        // must stop the loop
+        let mut g = WeightedGraph::new();
+        let hub = g.add_node(1);
+        for _ in 0..50 {
+            let leaf = g.add_node(1);
+            g.add_edge(hub, leaf, 1).unwrap();
+        }
+        let h = coarsen_hierarchy(&g, 4, 4);
+        assert!(h.depth() < 60, "coarsening should stall-stop, got depth {}", h.depth());
+    }
+
+    #[test]
+    fn maps_compose_to_input_size() {
+        let g = grid(10, 10);
+        let h = coarsen_hierarchy(&g, 20, 5);
+        // follow node 0 down the hierarchy without panicking
+        let mut idx = 0u32;
+        for level in &h.levels {
+            idx = level.map.map[idx as usize];
+        }
+        assert!((idx as usize) < h.coarsest().num_nodes());
+    }
+}

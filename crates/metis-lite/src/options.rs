@@ -1,0 +1,53 @@
+//! Tuning options mirroring METIS' defaults.
+
+/// Options for [`kway_partition`](crate::kway_partition).
+#[derive(Clone, Debug)]
+pub struct MetisOptions {
+    /// Stop coarsening when at most this many nodes remain (METIS stops
+    /// around `max(100, 15k)`; the paper's GP uses 100 as well).
+    pub coarsen_to: usize,
+    /// Allowed imbalance factor (METIS default `ufactor=30` ⇒ 1.03).
+    pub ufactor: f64,
+    /// Boundary-refinement passes per level.
+    pub refine_passes: usize,
+    /// Seed for all stochastic choices.
+    pub seed: u64,
+}
+
+impl Default for MetisOptions {
+    fn default() -> Self {
+        MetisOptions {
+            coarsen_to: 100,
+            ufactor: 1.03,
+            refine_passes: 8,
+            seed: 4242,
+        }
+    }
+}
+
+impl MetisOptions {
+    /// Same options with a different seed (for restart studies).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_metis_manual() {
+        let o = MetisOptions::default();
+        assert_eq!(o.coarsen_to, 100);
+        assert!((o.ufactor - 1.03).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_seed_changes_only_seed() {
+        let o = MetisOptions::default().with_seed(9);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.coarsen_to, MetisOptions::default().coarsen_to);
+    }
+}

@@ -1,0 +1,25 @@
+//! # multi-fpga
+//!
+//! Multi-FPGA platform model and mapped-system simulation — the
+//! workspace's substitute for the paper's future-work deployment on
+//! "actual multi-FPGA based systems".
+//!
+//! * [`platform`] — FPGAs with resource capacities, a uniform per-pair
+//!   link bandwidth `Bmax` (exactly the paper's platform abstraction),
+//!   and optional topology restrictions (full mesh / ring / 2D mesh);
+//! * [`mapping`] — a process→FPGA assignment derived from a graph
+//!   [`Partition`](ppn_graph::Partition), with feasibility checking
+//!   against a platform;
+//! * [`sysim`] — a cycle-stepped simulation of a mapped network where
+//!   inter-FPGA channels contend for per-link bandwidth: the executable
+//!   demonstration of *why* the paper's `Bmax` constraint matters (a
+//!   feasible mapping sustains its throughput; an infeasible one
+//!   serialises on the saturated link).
+
+pub mod mapping;
+pub mod platform;
+pub mod sysim;
+
+pub use mapping::{Mapping, MappingReport};
+pub use platform::{Fpga, Platform, Topology};
+pub use sysim::{simulate_mapped, SystemOptions, SystemReport};

@@ -1,0 +1,153 @@
+//! Platform description: FPGAs, link bandwidth, topology.
+
+use ppn_graph::Constraints;
+use ppn_model::ResourceVector;
+use serde::{Deserialize, Serialize};
+
+/// One FPGA of the platform.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fpga {
+    /// Board/device name.
+    pub name: String,
+    /// Available resources.
+    pub capacity: ResourceVector,
+}
+
+/// Inter-FPGA connectivity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Every pair of FPGAs is directly linked (the paper's model).
+    FullMesh,
+    /// FPGAs in a ring; only adjacent pairs are linked.
+    Ring,
+    /// 2D mesh of the given width (height = n / width).
+    Mesh2D {
+        /// Mesh width in FPGAs.
+        width: usize,
+    },
+}
+
+/// A multi-FPGA platform: `k` FPGAs, a uniform per-pair link bandwidth
+/// `bmax` (tokens per cycle, matching the paper's "only Bmax data can be
+/// transferred each unit of time"), and a topology.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Platform {
+    /// The FPGAs.
+    pub fpgas: Vec<Fpga>,
+    /// Per-link bandwidth cap (`Bmax`).
+    pub bmax: u64,
+    /// Connectivity.
+    pub topology: Topology,
+}
+
+impl Platform {
+    /// A homogeneous full-mesh platform of `k` FPGAs with `luts` LUTs
+    /// each and per-link bandwidth `bmax`.
+    pub fn homogeneous(k: usize, luts: u64, bmax: u64) -> Self {
+        Platform {
+            fpgas: (0..k)
+                .map(|i| Fpga {
+                    name: format!("fpga{i}"),
+                    capacity: ResourceVector::luts(luts),
+                })
+                .collect(),
+            bmax,
+            topology: Topology::FullMesh,
+        }
+    }
+
+    /// Number of FPGAs.
+    pub fn k(&self) -> usize {
+        self.fpgas.len()
+    }
+
+    /// Are FPGAs `a` and `b` directly linked?
+    pub fn linked(&self, a: usize, b: usize) -> bool {
+        if a == b || a >= self.k() || b >= self.k() {
+            return false;
+        }
+        match self.topology {
+            Topology::FullMesh => true,
+            Topology::Ring => {
+                let n = self.k();
+                (a + 1) % n == b || (b + 1) % n == a
+            }
+            Topology::Mesh2D { width } => {
+                let (ax, ay) = (a % width, a / width);
+                let (bx, by) = (b % width, b / width);
+                ax.abs_diff(bx) + ay.abs_diff(by) == 1
+            }
+        }
+    }
+
+    /// The paper's scalar constraint view of this platform: `Rmax` = the
+    /// smallest per-FPGA LUT capacity, `Bmax` = the link bandwidth.
+    pub fn to_constraints(&self) -> Constraints {
+        let rmax = self
+            .fpgas
+            .iter()
+            .map(|f| f.capacity.scalar())
+            .min()
+            .unwrap_or(0);
+        Constraints::new(rmax, self.bmax)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_platform_shape() {
+        let p = Platform::homogeneous(4, 1000, 16);
+        assert_eq!(p.k(), 4);
+        assert_eq!(p.to_constraints(), Constraints::new(1000, 16));
+        assert!(p.linked(0, 3));
+        assert!(!p.linked(2, 2));
+    }
+
+    #[test]
+    fn ring_links_only_neighbours() {
+        let mut p = Platform::homogeneous(5, 100, 4);
+        p.topology = Topology::Ring;
+        assert!(p.linked(0, 1));
+        assert!(p.linked(4, 0));
+        assert!(!p.linked(0, 2));
+    }
+
+    #[test]
+    fn mesh2d_links_manhattan_neighbours() {
+        let mut p = Platform::homogeneous(6, 100, 4);
+        p.topology = Topology::Mesh2D { width: 3 };
+        // layout: 0 1 2 / 3 4 5
+        assert!(p.linked(0, 1));
+        assert!(p.linked(1, 4));
+        assert!(!p.linked(0, 4));
+        assert!(!p.linked(2, 3));
+    }
+
+    #[test]
+    fn heterogeneous_constraints_take_minimum() {
+        let p = Platform {
+            fpgas: vec![
+                Fpga {
+                    name: "big".into(),
+                    capacity: ResourceVector::luts(2000),
+                },
+                Fpga {
+                    name: "small".into(),
+                    capacity: ResourceVector::luts(500),
+                },
+            ],
+            bmax: 8,
+            topology: Topology::FullMesh,
+        };
+        assert_eq!(p.to_constraints(), Constraints::new(500, 8));
+    }
+
+    #[test]
+    fn out_of_range_indices_not_linked() {
+        let p = Platform::homogeneous(2, 10, 1);
+        assert!(!p.linked(0, 5));
+    }
+}

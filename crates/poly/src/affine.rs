@@ -1,0 +1,174 @@
+//! Affine expressions over iteration variables.
+//!
+//! An [`AffineExpr`] is `c₀ + Σ cᵢ·xᵢ` over a fixed number of dimensions.
+//! All polyhedral objects in this crate (domains, accesses, schedules)
+//! are built from these.
+
+use std::fmt;
+
+/// `constant + coeffs · x`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AffineExpr {
+    /// Per-dimension coefficients.
+    pub coeffs: Vec<i64>,
+    /// Constant term.
+    pub constant: i64,
+}
+
+impl AffineExpr {
+    /// The constant expression `c` over `ndims` dimensions.
+    pub fn constant(ndims: usize, c: i64) -> Self {
+        AffineExpr {
+            coeffs: vec![0; ndims],
+            constant: c,
+        }
+    }
+
+    /// The variable `x_i` over `ndims` dimensions.
+    pub fn var(ndims: usize, i: usize) -> Self {
+        assert!(i < ndims, "variable index out of range");
+        let mut coeffs = vec![0; ndims];
+        coeffs[i] = 1;
+        AffineExpr { coeffs, constant: 0 }
+    }
+
+    /// Number of dimensions this expression ranges over.
+    pub fn ndims(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluate at an integer point.
+    pub fn eval(&self, point: &[i64]) -> i64 {
+        debug_assert_eq!(point.len(), self.coeffs.len());
+        self.constant
+            + self
+                .coeffs
+                .iter()
+                .zip(point)
+                .map(|(c, x)| c * x)
+                .sum::<i64>()
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &AffineExpr) -> AffineExpr {
+        assert_eq!(self.ndims(), other.ndims());
+        AffineExpr {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a + b)
+                .collect(),
+            constant: self.constant + other.constant,
+        }
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &AffineExpr) -> AffineExpr {
+        assert_eq!(self.ndims(), other.ndims());
+        AffineExpr {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a - b)
+                .collect(),
+            constant: self.constant - other.constant,
+        }
+    }
+
+    /// `self * s`.
+    pub fn scale(&self, s: i64) -> AffineExpr {
+        AffineExpr {
+            coeffs: self.coeffs.iter().map(|c| c * s).collect(),
+            constant: self.constant * s,
+        }
+    }
+
+    /// `self + c`.
+    pub fn offset(&self, c: i64) -> AffineExpr {
+        AffineExpr {
+            coeffs: self.coeffs.clone(),
+            constant: self.constant + c,
+        }
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            if c == 1 {
+                write!(f, "x{i}")?;
+            } else {
+                write!(f, "{c}·x{i}")?;
+            }
+            first = false;
+        }
+        if self.constant != 0 || first {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}", self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_combines_terms() {
+        // 3 + 2·x0 − x2 over 3 dims
+        let e = AffineExpr {
+            coeffs: vec![2, 0, -1],
+            constant: 3,
+        };
+        assert_eq!(e.eval(&[1, 99, 4]), 3 + 2 - 4);
+        assert_eq!(e.eval(&[0, 0, 0]), 3);
+    }
+
+    #[test]
+    fn constructors() {
+        let v = AffineExpr::var(3, 1);
+        assert_eq!(v.eval(&[7, 9, 11]), 9);
+        let c = AffineExpr::constant(2, -5);
+        assert_eq!(c.eval(&[1, 2]), -5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let x = AffineExpr::var(2, 0);
+        let y = AffineExpr::var(2, 1);
+        let e = x.add(&y).scale(2).offset(1); // 2x + 2y + 1
+        assert_eq!(e.eval(&[3, 4]), 15);
+        let d = e.sub(&x); // x + 2y + 1
+        assert_eq!(d.eval(&[3, 4]), 12);
+    }
+
+    #[test]
+    fn display_renders_readably() {
+        let e = AffineExpr {
+            coeffs: vec![1, -2],
+            constant: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("x0"));
+        assert!(s.contains("4"));
+        assert_eq!(AffineExpr::constant(2, 0).to_string(), "0");
+    }
+
+    #[test]
+    #[should_panic]
+    fn var_out_of_range_panics() {
+        let _ = AffineExpr::var(2, 5);
+    }
+}

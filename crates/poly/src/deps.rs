@@ -1,0 +1,241 @@
+//! Exact dataflow dependence analysis by enumeration.
+//!
+//! For every read instance we find the **last write** to the same array
+//! cell that executes strictly before the read in the global schedule
+//! order (time vector, tie-broken by statement index, then iteration).
+//! This is Feautrier's array dataflow analysis, computed concretely: the
+//! domains are enumerated, writes are indexed per cell in execution
+//! order, and each read binary-searches its producer. Exactness beats
+//! symbolic generality for the kernel sizes the workspace targets.
+
+use crate::program::AffineProgram;
+use std::collections::HashMap;
+
+/// A flow dependence (producer → consumer) aggregated per statement
+/// pair and array: `tokens` counts the read instances whose value is
+/// produced by `from`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dependence {
+    /// Producing statement index.
+    pub from: usize,
+    /// Consuming statement index.
+    pub to: usize,
+    /// Array whose cells carry the values.
+    pub array: String,
+    /// Number of value tokens communicated.
+    pub tokens: u64,
+}
+
+/// Execution stamp: (time vector, statement index, iteration vector) —
+/// lexicographic order is the sequential execution order.
+type Stamp = (Vec<i64>, usize, Vec<i64>);
+
+/// Analyze all flow dependences of `prog`. Reads with no in-program
+/// producer (external inputs) are reported per statement in the second
+/// return value as `(statement, array, count)`.
+pub fn analyze_dependences(
+    prog: &AffineProgram,
+) -> (Vec<Dependence>, Vec<(usize, String, u64)>) {
+    prog.validate().expect("program must validate");
+
+    // index all writes per (array, cell), sorted by execution stamp
+    let mut writes: HashMap<(String, Vec<i64>), Vec<(Stamp, usize)>> = HashMap::new();
+    for (si, s) in prog.statements.iter().enumerate() {
+        for point in s.domain.points() {
+            let stamp: Stamp = (s.time(&point), si, point.clone());
+            for w in &s.writes {
+                writes
+                    .entry((w.array.clone(), w.cell(&point)))
+                    .or_default()
+                    .push((stamp.clone(), si));
+            }
+        }
+    }
+    for list in writes.values_mut() {
+        list.sort();
+    }
+
+    let mut dep_tokens: HashMap<(usize, usize, String), u64> = HashMap::new();
+    let mut external: HashMap<(usize, String), u64> = HashMap::new();
+
+    for (si, s) in prog.statements.iter().enumerate() {
+        for point in s.domain.points() {
+            let stamp: Stamp = (s.time(&point), si, point.clone());
+            for r in &s.reads {
+                let key = (r.array.clone(), r.cell(&point));
+                let producer = writes.get(&key).and_then(|list| {
+                    // last write strictly before the read
+                    match list.binary_search_by(|(ws, _)| ws.cmp(&stamp)) {
+                        Ok(i) | Err(i) => {
+                            if i == 0 {
+                                None
+                            } else {
+                                Some(list[i - 1].1)
+                            }
+                        }
+                    }
+                });
+                match producer {
+                    Some(pi) => {
+                        *dep_tokens
+                            .entry((pi, si, r.array.clone()))
+                            .or_insert(0) += 1;
+                    }
+                    None => {
+                        *external.entry((si, r.array.clone())).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut deps: Vec<Dependence> = dep_tokens
+        .into_iter()
+        .map(|((from, to, array), tokens)| Dependence {
+            from,
+            to,
+            array,
+            tokens,
+        })
+        .collect();
+    deps.sort_by(|a, b| (a.from, a.to, &a.array).cmp(&(b.from, b.to, &b.array)));
+
+    let mut ext: Vec<(usize, String, u64)> = external
+        .into_iter()
+        .map(|((s, a), c)| (s, a, c))
+        .collect();
+    ext.sort();
+    (deps, ext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::AffineExpr;
+    use crate::program::{Access, Statement};
+    use crate::set::IntegerSet;
+
+    /// producer: for i in 0..n: A[i] = f(i)
+    /// consumer: for i in 0..n: B[i] = A[i] + A[i-1]   (reads two cells)
+    fn prod_cons(n: i64) -> AffineProgram {
+        let mut p = AffineProgram::new("prodcons");
+        p.add_statement(Statement {
+            name: "produce".into(),
+            domain: IntegerSet::rect(&[n]),
+            writes: vec![Access::new("A", vec![AffineExpr::var(1, 0)])],
+            reads: vec![],
+            schedule: vec![AffineExpr::constant(1, 0), AffineExpr::var(1, 0)],
+            ops: 1,
+        });
+        p.add_statement(Statement {
+            name: "consume".into(),
+            domain: IntegerSet::rect(&[n]),
+            writes: vec![Access::new("B", vec![AffineExpr::var(1, 0)])],
+            reads: vec![
+                Access::new("A", vec![AffineExpr::var(1, 0)]),
+                Access::new("A", vec![AffineExpr::var(1, 0).offset(-1)]),
+            ],
+            schedule: vec![AffineExpr::constant(1, 1), AffineExpr::var(1, 0)],
+            ops: 1,
+        });
+        p
+    }
+
+    #[test]
+    fn producer_consumer_tokens_counted_exactly() {
+        let (deps, ext) = analyze_dependences(&prod_cons(8));
+        assert_eq!(deps.len(), 1);
+        let d = &deps[0];
+        assert_eq!((d.from, d.to), (0, 1));
+        assert_eq!(d.array, "A");
+        // reads: A[i] for 8 iterations + A[i-1] for i=1..7 → 8 + 7 = 15
+        assert_eq!(d.tokens, 15);
+        // A[-1] is the only external read
+        assert_eq!(ext, vec![(1, "A".to_string(), 1)]);
+    }
+
+    #[test]
+    fn self_dependence_detected() {
+        // for i in 1..n: A[i] = A[i-1]  (a recurrence)
+        let mut p = AffineProgram::new("scan");
+        p.add_statement(Statement {
+            name: "scan".into(),
+            domain: IntegerSet::box_set(vec![1], vec![7]),
+            writes: vec![Access::new("A", vec![AffineExpr::var(1, 0)])],
+            reads: vec![Access::new("A", vec![AffineExpr::var(1, 0).offset(-1)])],
+            schedule: vec![AffineExpr::var(1, 0)],
+            ops: 1,
+        });
+        let (deps, ext) = analyze_dependences(&p);
+        assert_eq!(deps.len(), 1);
+        assert_eq!((deps[0].from, deps[0].to), (0, 0));
+        assert_eq!(deps[0].tokens, 6); // i = 2..7 read in-program values
+        assert_eq!(ext[0].2, 1); // A[0] comes from outside
+    }
+
+    #[test]
+    fn last_write_wins_across_statements() {
+        // S0 writes A[0..4]; S1 overwrites A[0..4]; S2 reads A: producer
+        // must be S1, not S0.
+        let write =
+            |name: &str, t: i64| Statement {
+                name: name.into(),
+                domain: IntegerSet::rect(&[4]),
+                writes: vec![Access::new("A", vec![AffineExpr::var(1, 0)])],
+                reads: vec![],
+                schedule: vec![AffineExpr::constant(1, t), AffineExpr::var(1, 0)],
+                ops: 1,
+            };
+        let mut p = AffineProgram::new("overwrite");
+        p.add_statement(write("first", 0));
+        p.add_statement(write("second", 1));
+        p.add_statement(Statement {
+            name: "read".into(),
+            domain: IntegerSet::rect(&[4]),
+            writes: vec![Access::new("B", vec![AffineExpr::var(1, 0)])],
+            reads: vec![Access::new("A", vec![AffineExpr::var(1, 0)])],
+            schedule: vec![AffineExpr::constant(1, 2), AffineExpr::var(1, 0)],
+            ops: 1,
+        });
+        let (deps, ext) = analyze_dependences(&p);
+        assert!(ext.is_empty());
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].from, 1, "the overwrite must shadow the first write");
+        assert_eq!(deps[0].tokens, 4);
+    }
+
+    #[test]
+    fn no_reads_no_dependences() {
+        let mut p = AffineProgram::new("writesonly");
+        p.add_statement(Statement {
+            name: "w".into(),
+            domain: IntegerSet::rect(&[5]),
+            writes: vec![Access::new("A", vec![AffineExpr::var(1, 0)])],
+            reads: vec![],
+            schedule: vec![AffineExpr::var(1, 0)],
+            ops: 1,
+        });
+        let (deps, ext) = analyze_dependences(&p);
+        assert!(deps.is_empty());
+        assert!(ext.is_empty());
+    }
+
+    #[test]
+    fn read_before_write_in_same_iteration_sees_previous() {
+        // for i: A[i] = A[i] + 1 — the read of A[i] happens at the same
+        // stamp as the write; "strictly before" excludes it, so every
+        // read is external (value from before the program).
+        let mut p = AffineProgram::new("inc");
+        p.add_statement(Statement {
+            name: "inc".into(),
+            domain: IntegerSet::rect(&[5]),
+            writes: vec![Access::new("A", vec![AffineExpr::var(1, 0)])],
+            reads: vec![Access::new("A", vec![AffineExpr::var(1, 0)])],
+            schedule: vec![AffineExpr::var(1, 0)],
+            ops: 1,
+        });
+        let (deps, ext) = analyze_dependences(&p);
+        assert!(deps.is_empty());
+        assert_eq!(ext[0].2, 5);
+    }
+}

@@ -1,0 +1,201 @@
+//! Static affine nested-loop programs (SANLPs).
+//!
+//! A program is a list of statements; each statement has
+//!
+//! * a polyhedral iteration **domain**,
+//! * affine **array accesses** (reads and one-or-more writes),
+//! * an affine **schedule** mapping its iterations to a shared global
+//!   time vector — the sequential execution order of the original
+//!   program, which dataflow analysis consults to find the *last* write
+//!   before each read.
+
+use crate::affine::AffineExpr;
+use crate::set::IntegerSet;
+
+/// An affine array access: `array[ map₀(x), map₁(x), … ]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Array name.
+    pub array: String,
+    /// One affine expression per array dimension.
+    pub map: Vec<AffineExpr>,
+}
+
+impl Access {
+    /// Build an access.
+    pub fn new(array: impl Into<String>, map: Vec<AffineExpr>) -> Self {
+        Access {
+            array: array.into(),
+            map,
+        }
+    }
+
+    /// Evaluate the accessed cell at iteration `point`.
+    pub fn cell(&self, point: &[i64]) -> Vec<i64> {
+        self.map.iter().map(|e| e.eval(point)).collect()
+    }
+}
+
+/// One statement of the program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Statement {
+    /// Name (becomes the process name in the derived PPN).
+    pub name: String,
+    /// Iteration domain.
+    pub domain: IntegerSet,
+    /// Cells written per iteration.
+    pub writes: Vec<Access>,
+    /// Cells read per iteration.
+    pub reads: Vec<Access>,
+    /// Affine schedule: iteration → global time vector. All statements
+    /// in a program must share the schedule length.
+    pub schedule: Vec<AffineExpr>,
+    /// Arithmetic operations per iteration (feeds the resource model).
+    pub ops: u64,
+}
+
+impl Statement {
+    /// Global time stamp of iteration `point`, extended with the
+    /// iteration itself and left-padded so comparisons are total.
+    pub fn time(&self, point: &[i64]) -> Vec<i64> {
+        self.schedule.iter().map(|e| e.eval(point)).collect()
+    }
+}
+
+/// A static affine nested-loop program.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AffineProgram {
+    /// Program name.
+    pub name: String,
+    /// Statements in textual order (used as the final tie-break of the
+    /// execution order).
+    pub statements: Vec<Statement>,
+}
+
+impl AffineProgram {
+    /// Empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        AffineProgram {
+            name: name.into(),
+            statements: Vec::new(),
+        }
+    }
+
+    /// Append a statement, returning its index.
+    pub fn add_statement(&mut self, s: Statement) -> usize {
+        self.statements.push(s);
+        self.statements.len() - 1
+    }
+
+    /// Total iteration count over all statements.
+    pub fn total_iterations(&self) -> u64 {
+        self.statements.iter().map(|s| s.domain.cardinality()).sum()
+    }
+
+    /// Validation: non-empty schedules of uniform length, domains and
+    /// accesses dimensionally consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        let Some(first) = self.statements.first() else {
+            return Ok(());
+        };
+        let tlen = first.schedule.len();
+        if tlen == 0 {
+            return Err("schedules must have at least one dimension".into());
+        }
+        for (i, s) in self.statements.iter().enumerate() {
+            let nd = s.domain.ndims();
+            if s.schedule.len() != tlen {
+                return Err(format!(
+                    "statement {i} ({}) schedule length {} != {}",
+                    s.name,
+                    s.schedule.len(),
+                    tlen
+                ));
+            }
+            for e in &s.schedule {
+                if e.ndims() != nd {
+                    return Err(format!("statement {i}: schedule dims != domain dims"));
+                }
+            }
+            for a in s.writes.iter().chain(&s.reads) {
+                for e in &a.map {
+                    if e.ndims() != nd {
+                        return Err(format!(
+                            "statement {i}: access {} dims != domain dims",
+                            a.array
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn copy_stmt(n: i64) -> Statement {
+        // for i in 0..n: B[i] = A[i]
+        Statement {
+            name: "copy".into(),
+            domain: IntegerSet::rect(&[n]),
+            writes: vec![Access::new("B", vec![AffineExpr::var(1, 0)])],
+            reads: vec![Access::new("A", vec![AffineExpr::var(1, 0)])],
+            schedule: vec![AffineExpr::var(1, 0)],
+            ops: 1,
+        }
+    }
+
+    #[test]
+    fn access_cells_follow_the_map() {
+        let a = Access::new(
+            "A",
+            vec![
+                AffineExpr::var(2, 0).offset(1), // i + 1
+                AffineExpr::var(2, 1).scale(2),  // 2j
+            ],
+        );
+        assert_eq!(a.cell(&[3, 5]), vec![4, 10]);
+    }
+
+    #[test]
+    fn statement_time_follows_schedule() {
+        let s = copy_stmt(4);
+        assert_eq!(s.time(&[2]), vec![2]);
+    }
+
+    #[test]
+    fn program_validates_uniform_schedules() {
+        let mut p = AffineProgram::new("ok");
+        p.add_statement(copy_stmt(4));
+        p.add_statement(copy_stmt(8));
+        assert!(p.validate().is_ok());
+        assert_eq!(p.total_iterations(), 12);
+    }
+
+    #[test]
+    fn program_rejects_mismatched_schedule_length() {
+        let mut p = AffineProgram::new("bad");
+        p.add_statement(copy_stmt(4));
+        let mut s2 = copy_stmt(4);
+        s2.schedule = vec![AffineExpr::var(1, 0), AffineExpr::constant(1, 0)];
+        p.add_statement(s2);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn program_rejects_access_dimension_mismatch() {
+        let mut s = copy_stmt(4);
+        s.reads = vec![Access::new("A", vec![AffineExpr::var(2, 0)])];
+        let mut p = AffineProgram::new("bad");
+        p.add_statement(s);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn empty_program_is_valid() {
+        assert!(AffineProgram::new("empty").validate().is_ok());
+    }
+}

@@ -1,0 +1,247 @@
+//! Integer sets: a bounding box refined by affine constraints.
+//!
+//! The classic polyhedral libraries (isl, Omega) manipulate Presburger
+//! sets symbolically. The domains this workspace needs are concrete and
+//! small (kernel iteration spaces up to ~10⁵ points), so an explicit
+//! box-scan filtered by constraints gives *exact* enumeration and
+//! counting with trivial, easily-audited code.
+
+use crate::affine::AffineExpr;
+
+/// An integer set `{ x ∈ box | ∀c: c(x) ≥ 0 }`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IntegerSet {
+    /// Inclusive per-dimension lower bounds.
+    pub lo: Vec<i64>,
+    /// Inclusive per-dimension upper bounds.
+    pub hi: Vec<i64>,
+    /// Affine inequalities `expr ≥ 0` further constraining the box.
+    pub constraints: Vec<AffineExpr>,
+}
+
+impl IntegerSet {
+    /// The full box `lo ≤ x ≤ hi` (component-wise).
+    pub fn box_set(lo: Vec<i64>, hi: Vec<i64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound vectors must align");
+        IntegerSet {
+            lo,
+            hi,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// A rectangular domain `0 ≤ xᵢ < sizes[i]` — the common loop-nest
+    /// shape.
+    pub fn rect(sizes: &[i64]) -> Self {
+        assert!(sizes.iter().all(|&s| s >= 0), "sizes must be non-negative");
+        IntegerSet {
+            lo: vec![0; sizes.len()],
+            hi: sizes.iter().map(|&s| s - 1).collect(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Add the constraint `expr ≥ 0`.
+    pub fn with_constraint(mut self, expr: AffineExpr) -> Self {
+        assert_eq!(expr.ndims(), self.ndims(), "constraint dimension mismatch");
+        self.constraints.push(expr);
+        self
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Does the set contain `point`?
+    pub fn contains(&self, point: &[i64]) -> bool {
+        if point.len() != self.ndims() {
+            return false;
+        }
+        for i in 0..self.ndims() {
+            if point[i] < self.lo[i] || point[i] > self.hi[i] {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|c| c.eval(point) >= 0)
+    }
+
+    /// Exact number of integer points (enumerative).
+    pub fn cardinality(&self) -> u64 {
+        self.points().count() as u64
+    }
+
+    /// True when the set has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points().next().is_none()
+    }
+
+    /// Iterate all points in lexicographic order.
+    pub fn points(&self) -> PointIter<'_> {
+        let n = self.ndims();
+        let empty_box = (0..n).any(|i| self.lo[i] > self.hi[i]);
+        PointIter {
+            set: self,
+            current: if empty_box || n == 0 {
+                None
+            } else {
+                Some(self.lo.clone())
+            },
+            zero_dim_emitted: n == 0 && !empty_box,
+        }
+    }
+
+    /// Number of points in the bounding box (enumeration cost estimate).
+    pub fn box_volume(&self) -> u64 {
+        let mut v: u64 = 1;
+        for i in 0..self.ndims() {
+            if self.hi[i] < self.lo[i] {
+                return 0;
+            }
+            v = v.saturating_mul((self.hi[i] - self.lo[i] + 1) as u64);
+        }
+        v
+    }
+}
+
+/// Lexicographic point iterator (odometer over the box, filtered by the
+/// constraints).
+pub struct PointIter<'a> {
+    set: &'a IntegerSet,
+    current: Option<Vec<i64>>,
+    zero_dim_emitted: bool,
+}
+
+impl Iterator for PointIter<'_> {
+    type Item = Vec<i64>;
+
+    fn next(&mut self) -> Option<Vec<i64>> {
+        // 0-dimensional sets contain exactly the empty point
+        if self.set.ndims() == 0 {
+            if self.zero_dim_emitted {
+                self.zero_dim_emitted = false;
+                return Some(Vec::new());
+            }
+            return None;
+        }
+        loop {
+            let point = self.current.as_ref()?.clone();
+            // advance the odometer
+            let cur = self.current.as_mut().unwrap();
+            let mut i = cur.len();
+            loop {
+                if i == 0 {
+                    self.current = None;
+                    break;
+                }
+                i -= 1;
+                if cur[i] < self.set.hi[i] {
+                    cur[i] += 1;
+                    for j in (i + 1)..cur.len() {
+                        cur[j] = self.set.lo[j];
+                    }
+                    break;
+                }
+            }
+            if self.set.constraints.iter().all(|c| c.eval(&point) >= 0) {
+                return Some(point);
+            }
+            self.current.as_ref()?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_cardinality() {
+        assert_eq!(IntegerSet::rect(&[3, 4]).cardinality(), 12);
+        assert_eq!(IntegerSet::rect(&[5]).cardinality(), 5);
+        assert_eq!(IntegerSet::rect(&[0, 7]).cardinality(), 0);
+    }
+
+    #[test]
+    fn triangle_via_constraint() {
+        // { (i, j) | 0 ≤ i, j < 4, j ≤ i } → 4+3+2+1 = 10 points
+        let tri = IntegerSet::rect(&[4, 4]).with_constraint(
+            AffineExpr::var(2, 0).sub(&AffineExpr::var(2, 1)), // i - j ≥ 0
+        );
+        assert_eq!(tri.cardinality(), 10);
+        assert!(tri.contains(&[3, 3]));
+        assert!(!tri.contains(&[1, 2]));
+    }
+
+    #[test]
+    fn points_are_lexicographic_and_exact() {
+        let s = IntegerSet::rect(&[2, 2]);
+        let pts: Vec<_> = s.points().collect();
+        assert_eq!(
+            pts,
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
+        );
+    }
+
+    #[test]
+    fn empty_and_infeasible_sets() {
+        let e = IntegerSet::box_set(vec![3], vec![1]);
+        assert!(e.is_empty());
+        assert_eq!(e.box_volume(), 0);
+        // x ≥ 0 ∧ -x - 1 ≥ 0 is unsatisfiable
+        let inf = IntegerSet::rect(&[5])
+            .with_constraint(AffineExpr::var(1, 0).scale(-1).offset(-1));
+        assert!(inf.is_empty());
+        assert_eq!(inf.cardinality(), 0);
+    }
+
+    #[test]
+    fn zero_dimensional_set_has_one_point() {
+        let s = IntegerSet::box_set(vec![], vec![]);
+        assert_eq!(s.cardinality(), 1);
+        assert_eq!(s.points().collect::<Vec<_>>(), vec![Vec::<i64>::new()]);
+    }
+
+    #[test]
+    fn contains_checks_bounds_and_dimension() {
+        let s = IntegerSet::rect(&[3, 3]);
+        assert!(s.contains(&[2, 2]));
+        assert!(!s.contains(&[3, 0]));
+        assert!(!s.contains(&[0]));
+        assert!(!s.contains(&[-1, 0]));
+    }
+
+    #[test]
+    fn cardinality_matches_brute_force_filter() {
+        // diagonal band: |i - j| ≤ 1 over 6×6
+        let band = IntegerSet::rect(&[6, 6])
+            .with_constraint(
+                AffineExpr::var(2, 0)
+                    .sub(&AffineExpr::var(2, 1))
+                    .offset(1), // i - j + 1 ≥ 0
+            )
+            .with_constraint(
+                AffineExpr::var(2, 1)
+                    .sub(&AffineExpr::var(2, 0))
+                    .offset(1), // j - i + 1 ≥ 0
+            );
+        let mut brute = 0;
+        for i in 0..6i64 {
+            for j in 0..6i64 {
+                if (i - j).abs() <= 1 {
+                    brute += 1;
+                }
+            }
+        }
+        assert_eq!(band.cardinality(), brute);
+    }
+
+    #[test]
+    fn box_volume_upper_bounds_cardinality() {
+        let tri = IntegerSet::rect(&[8, 8]).with_constraint(
+            AffineExpr::var(2, 0).sub(&AffineExpr::var(2, 1)),
+        );
+        assert!(tri.cardinality() <= tri.box_volume());
+        assert_eq!(tri.box_volume(), 64);
+    }
+}

@@ -1,0 +1,189 @@
+//! Compressed sparse row (CSR) view of a [`WeightedGraph`].
+//!
+//! The adjacency-list representation in [`WeightedGraph`] is convenient to
+//! mutate; the hot inner loops of coarsening and refinement, however, scan
+//! neighbourhoods millions of times, where the pointer-chasing of
+//! `Vec<Vec<_>>` costs real time. `Csr` flattens the graph into the classic
+//! `xadj`/`adjncy`/`adjwgt` triple used by METIS, plus node weights.
+
+use crate::graph::WeightedGraph;
+use crate::ids::NodeId;
+
+/// Immutable CSR snapshot of a graph.
+///
+/// Neighbour lists are stored contiguously: the neighbours of node `i`
+/// occupy `adjncy[xadj[i]..xadj[i+1]]` with matching `adjwgt` entries.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// Offsets into `adjncy`, length `n + 1`.
+    pub xadj: Vec<usize>,
+    /// Concatenated neighbour ids (each undirected edge appears twice).
+    pub adjncy: Vec<u32>,
+    /// Edge weights parallel to `adjncy`.
+    pub adjwgt: Vec<u64>,
+    /// Node (resource) weights, length `n`.
+    pub vwgt: Vec<u64>,
+}
+
+impl Csr {
+    /// Build a CSR snapshot from `g`.
+    pub fn from_graph(g: &WeightedGraph) -> Self {
+        let n = g.num_nodes();
+        let mut xadj = Vec::with_capacity(n + 1);
+        let mut adjncy = Vec::with_capacity(2 * g.num_edges());
+        let mut adjwgt = Vec::with_capacity(2 * g.num_edges());
+        xadj.push(0);
+        for v in g.node_ids() {
+            for &(u, e) in g.neighbors(v) {
+                adjncy.push(u.0);
+                adjwgt.push(g.edge_weight(e));
+            }
+            xadj.push(adjncy.len());
+        }
+        Csr {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt: g.node_weights().to_vec(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Neighbour ids of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adjncy[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// Edge weights aligned with [`neighbors`](Csr::neighbors).
+    #[inline]
+    pub fn neighbor_weights(&self, v: usize) -> &[u64] {
+        &self.adjwgt[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// Iterate `(neighbour, edge weight)` of `v`.
+    #[inline]
+    pub fn neighbor_iter(&self, v: usize) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.neighbors(v)
+            .iter()
+            .zip(self.neighbor_weights(v))
+            .map(|(&n, &w)| (n as usize, w))
+    }
+
+    /// Total node weight.
+    pub fn total_node_weight(&self) -> u64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Sum of `adjwgt` halved (each edge counted twice).
+    pub fn total_edge_weight(&self) -> u64 {
+        self.adjwgt.iter().sum::<u64>() / 2
+    }
+}
+
+impl From<&WeightedGraph> for Csr {
+    fn from(g: &WeightedGraph) -> Self {
+        Csr::from_graph(g)
+    }
+}
+
+/// Rebuild a [`WeightedGraph`] from a CSR triple (inverse of
+/// [`Csr::from_graph`] up to adjacency ordering).
+pub fn csr_to_graph(csr: &Csr) -> WeightedGraph {
+    let mut g = WeightedGraph::new();
+    for &w in &csr.vwgt {
+        g.add_node(w);
+    }
+    for v in 0..csr.num_nodes() {
+        for (u, w) in csr.neighbor_iter(v) {
+            if v < u {
+                g.add_edge(NodeId::from_index(v), NodeId::from_index(u), w)
+                    .expect("CSR encodes a simple graph");
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> WeightedGraph {
+        // 0 -1- 1 -2- 2 -3- 3
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..4).map(|i| g.add_node(i + 1)).collect();
+        g.add_edge(n[0], n[1], 1).unwrap();
+        g.add_edge(n[1], n[2], 2).unwrap();
+        g.add_edge(n[2], n[3], 3).unwrap();
+        g
+    }
+
+    #[test]
+    fn csr_shape_matches_graph() {
+        let g = path4();
+        let c = Csr::from_graph(&g);
+        assert_eq!(c.num_nodes(), 4);
+        assert_eq!(c.num_edges(), 3);
+        assert_eq!(c.xadj, vec![0, 1, 3, 5, 6]);
+        assert_eq!(c.degree(0), 1);
+        assert_eq!(c.degree(1), 2);
+        assert_eq!(c.total_node_weight(), 10);
+        assert_eq!(c.total_edge_weight(), 6);
+    }
+
+    #[test]
+    fn neighbor_iter_pairs_weights() {
+        let g = path4();
+        let c = Csr::from_graph(&g);
+        let nbrs: Vec<_> = c.neighbor_iter(1).collect();
+        assert_eq!(nbrs, vec![(0, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn roundtrip_to_graph() {
+        let g = path4();
+        let c = Csr::from_graph(&g);
+        let g2 = csr_to_graph(&c);
+        g2.validate().unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.total_edge_weight(), g.total_edge_weight());
+        for v in g.node_ids() {
+            assert_eq!(g2.node_weight(v), g.node_weight(v));
+        }
+    }
+
+    #[test]
+    fn from_ref_impl() {
+        let g = path4();
+        let c: Csr = (&g).into();
+        assert_eq!(c.num_nodes(), 4);
+    }
+
+    #[test]
+    fn empty_graph_csr() {
+        let g = WeightedGraph::new();
+        let c = Csr::from_graph(&g);
+        assert_eq!(c.num_nodes(), 0);
+        assert_eq!(c.num_edges(), 0);
+        assert_eq!(c.xadj, vec![0]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Strongly-typed node and edge identifiers.
+//!
+//! Identifiers are plain `u32` indices into the owning
+//! [`WeightedGraph`](crate::WeightedGraph)'s internal vectors. Using
+//! newtypes keeps the partitioning code honest about which index space a
+//! value lives in (fine vs coarse graphs in the multilevel hierarchy are a
+//! classic source of off-by-one-level bugs).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node (a process in a process network).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an undirected edge (the aggregate of FIFO channels
+/// between two processes).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The index as a `usize`, for vector addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` index (panics if it overflows `u32`).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize);
+        NodeId(i as u32)
+    }
+}
+
+impl EdgeId {
+    /// The index as a `usize`, for vector addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` index (panics if it overflows `u32`).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize);
+        EdgeId(i as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n, NodeId(42));
+        assert_eq!(format!("{n}"), "42");
+        assert_eq!(format!("{n:?}"), "n42");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::from_index(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(format!("{e}"), "7");
+        assert_eq!(format!("{e:?}"), "e7");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeId(0) < EdgeId(9));
+    }
+
+    #[test]
+    fn ids_from_u32() {
+        assert_eq!(NodeId::from(5u32), NodeId(5));
+        assert_eq!(EdgeId::from(6u32), EdgeId(6));
+    }
+}

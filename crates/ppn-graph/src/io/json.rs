@@ -1,0 +1,62 @@
+//! JSON round-trip helpers (thin wrappers over serde_json with graph
+//! validation on load).
+
+use crate::error::GraphError;
+use crate::graph::WeightedGraph;
+use crate::partition::Partition;
+
+/// Serialise a graph to pretty JSON.
+pub fn graph_to_json(g: &WeightedGraph) -> String {
+    serde_json::to_string_pretty(g).expect("graph serialisation cannot fail")
+}
+
+/// Parse and validate a graph from JSON.
+pub fn graph_from_json(text: &str) -> Result<WeightedGraph, GraphError> {
+    let g: WeightedGraph =
+        serde_json::from_str(text).map_err(|e| GraphError::Io(e.to_string()))?;
+    g.validate()?;
+    Ok(g)
+}
+
+/// Serialise a partition to JSON.
+pub fn partition_to_json(p: &Partition) -> String {
+    serde_json::to_string_pretty(p).expect("partition serialisation cannot fail")
+}
+
+/// Parse a partition from JSON.
+pub fn partition_from_json(text: &str) -> Result<Partition, GraphError> {
+    serde_json::from_str(text).map_err(|e| GraphError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn graph_json_roundtrip() {
+        let mut g = WeightedGraph::new();
+        let a = g.add_labeled_node(2, "a");
+        let b = g.add_node(3);
+        g.add_edge(a, b, 4).unwrap();
+        let text = graph_to_json(&g);
+        let g2 = graph_from_json(&text).unwrap();
+        assert_eq!(g2.num_nodes(), 2);
+        assert_eq!(g2.label(NodeId(0)), Some("a"));
+        assert_eq!(g2.total_edge_weight(), 4);
+    }
+
+    #[test]
+    fn partition_json_roundtrip() {
+        let p = Partition::from_assignment(vec![0, 1, 1], 2).unwrap();
+        let text = partition_to_json(&p);
+        let p2 = partition_from_json(&text).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn invalid_json_is_an_error() {
+        assert!(graph_from_json("{").is_err());
+        assert!(partition_from_json("[1,2,3]").is_err());
+    }
+}

@@ -1,0 +1,18 @@
+//! Graph I/O.
+//!
+//! Four interchange formats:
+//!
+//! * [`metis`] — the classic METIS `.graph` text format (what METIS 5.1
+//!   consumed in the paper's experiments), with node and edge weights;
+//! * [`matrix`] — dense adjacency-matrix text plus a node-weight vector,
+//!   mirroring the MATLAB incidence/adjacency matrices the paper fed to
+//!   both tools;
+//! * [`dot`] — Graphviz output used to regenerate the paper's figures
+//!   (node radius ∝ weight; partition colouring);
+//! * [`json`] — serde round-trip of the full graph (plus partition /
+//!   report artifacts elsewhere in the workspace).
+
+pub mod dot;
+pub mod json;
+pub mod matrix;
+pub mod metis;

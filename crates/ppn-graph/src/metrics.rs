@@ -1,0 +1,369 @@
+//! Partition quality metrics.
+//!
+//! The paper evaluates four quantities (Tables I–III):
+//!
+//! 1. **total edge cut** — summed weight of edges crossing parts;
+//! 2. **maximum local bandwidth** — the largest entry of the pairwise
+//!    part-to-part traffic matrix (this is what `Bmax` bounds);
+//! 3. **maximum resource allocation** — the largest per-part summed node
+//!    weight (bounded by `Rmax`);
+//! 4. **runtime** (measured by the bench harness, not here).
+//!
+//! [`CutMatrix`] maintains the pairwise traffic incrementally: moving a
+//! node only touches the rows/columns of its old and new part, at cost
+//! O(degree). This is what makes the constrained FM refinement of the core
+//! crate cheap.
+
+use crate::graph::WeightedGraph;
+use crate::ids::NodeId;
+use crate::partition::Partition;
+use serde::{Deserialize, Serialize};
+
+/// Symmetric K×K matrix of inter-part traffic. Entry `(a, b)` with
+/// `a != b` is the summed weight of edges with one endpoint in part `a`
+/// and the other in part `b`. The diagonal is unused (kept zero).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CutMatrix {
+    k: usize,
+    data: Vec<u64>,
+}
+
+impl CutMatrix {
+    /// Zero matrix for `k` parts.
+    pub fn zero(k: usize) -> Self {
+        CutMatrix {
+            k,
+            data: vec![0; k * k],
+        }
+    }
+
+    /// Compute the pairwise cut of `p` on `g`. Unassigned endpoints do
+    /// not contribute.
+    pub fn compute(g: &WeightedGraph, p: &Partition) -> Self {
+        let mut m = CutMatrix::zero(p.k());
+        for (u, v, w) in g.edges() {
+            let (a, b) = (p.part_of(u), p.part_of(v));
+            if a != b && a != Partition::UNASSIGNED && b != Partition::UNASSIGNED {
+                m.add(a as usize, b as usize, w);
+            }
+        }
+        m
+    }
+
+    /// Number of parts.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Traffic between parts `a` and `b` (symmetric; zero on diagonal).
+    #[inline]
+    pub fn get(&self, a: usize, b: usize) -> u64 {
+        self.data[a * self.k + b]
+    }
+
+    #[inline]
+    fn add(&mut self, a: usize, b: usize, w: u64) {
+        if a == b {
+            return;
+        }
+        self.data[a * self.k + b] += w;
+        self.data[b * self.k + a] += w;
+    }
+
+    #[inline]
+    fn sub(&mut self, a: usize, b: usize, w: u64) {
+        if a == b {
+            return;
+        }
+        self.data[a * self.k + b] -= w;
+        self.data[b * self.k + a] -= w;
+    }
+
+    /// Apply the effect of moving node `n` from `from` to `to` given the
+    /// node's current neighbourhood. Call *before* mutating the partition
+    /// (i.e. while `p.part_of(n) == from` still holds for neighbours'
+    /// bookkeeping — only the partition entries of *other* nodes are
+    /// read).
+    pub fn apply_move(
+        &mut self,
+        g: &WeightedGraph,
+        p: &Partition,
+        n: NodeId,
+        from: u32,
+        to: u32,
+    ) {
+        if from == to {
+            return;
+        }
+        for &(nbr, e) in g.neighbors(n) {
+            let q = p.part_of(nbr);
+            if q == Partition::UNASSIGNED {
+                continue;
+            }
+            let w = g.edge_weight(e);
+            if from != Partition::UNASSIGNED && q != from {
+                self.sub(from as usize, q as usize, w);
+            }
+            if to != Partition::UNASSIGNED && q != to {
+                self.add(to as usize, q as usize, w);
+            }
+        }
+    }
+
+    /// The maximum pairwise traffic ("maximum local bandwidth" in the
+    /// paper's tables).
+    pub fn max_local_bandwidth(&self) -> u64 {
+        let mut best = 0;
+        for a in 0..self.k {
+            for b in (a + 1)..self.k {
+                best = best.max(self.get(a, b));
+            }
+        }
+        best
+    }
+
+    /// Total edge cut: half the matrix sum (each pair counted once).
+    pub fn total_cut(&self) -> u64 {
+        let mut s = 0;
+        for a in 0..self.k {
+            for b in (a + 1)..self.k {
+                s += self.get(a, b);
+            }
+        }
+        s
+    }
+
+    /// Pairs `(a, b, traffic)` with traffic exceeding `bmax`.
+    pub fn violations(&self, bmax: u64) -> Vec<(usize, usize, u64)> {
+        let mut v = Vec::new();
+        for a in 0..self.k {
+            for b in (a + 1)..self.k {
+                let t = self.get(a, b);
+                if t > bmax {
+                    v.push((a, b, t));
+                }
+            }
+        }
+        v
+    }
+
+    /// Sum of the amounts by which pairs exceed `bmax`.
+    pub fn violation_magnitude(&self, bmax: u64) -> u64 {
+        self.violations(bmax)
+            .into_iter()
+            .map(|(_, _, t)| t - bmax)
+            .sum()
+    }
+}
+
+/// Total weight of cut edges (recomputed from scratch; prefer
+/// [`CutMatrix`] for incremental use).
+pub fn edge_cut(g: &WeightedGraph, p: &Partition) -> u64 {
+    let mut cut = 0;
+    for (u, v, w) in g.edges() {
+        let (a, b) = (p.part_of(u), p.part_of(v));
+        if a != b && a != Partition::UNASSIGNED && b != Partition::UNASSIGNED {
+            cut += w;
+        }
+    }
+    cut
+}
+
+/// Number of cut edges, ignoring weights.
+pub fn edge_cut_count(g: &WeightedGraph, p: &Partition) -> usize {
+    g.edges()
+        .filter(|&(u, v, _)| {
+            let (a, b) = (p.part_of(u), p.part_of(v));
+            a != b && a != Partition::UNASSIGNED && b != Partition::UNASSIGNED
+        })
+        .count()
+}
+
+/// Load-imbalance factor: `k * max_part_weight / total_weight`. 1.0 is a
+/// perfectly balanced partition; METIS' default tolerance is 1.03.
+pub fn imbalance(g: &WeightedGraph, p: &Partition) -> f64 {
+    let w = p.part_weights(g);
+    let total: u64 = w.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let max = *w.iter().max().unwrap() as f64;
+    max * p.k() as f64 / total as f64
+}
+
+/// Aggregate quality report for a partition — the row a paper table
+/// prints, plus feasibility data.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionQuality {
+    /// Total weighted edge cut.
+    pub total_cut: u64,
+    /// Largest pairwise inter-part traffic.
+    pub max_local_bandwidth: u64,
+    /// Largest per-part resource usage.
+    pub max_resource: u64,
+    /// Per-part resource usage.
+    pub part_resources: Vec<u64>,
+    /// Full pairwise traffic matrix.
+    pub cut_matrix: CutMatrix,
+}
+
+impl PartitionQuality {
+    /// Measure `p` on `g`.
+    pub fn measure(g: &WeightedGraph, p: &Partition) -> Self {
+        let cut_matrix = CutMatrix::compute(g, p);
+        let part_resources = p.part_weights(g);
+        PartitionQuality {
+            total_cut: cut_matrix.total_cut(),
+            max_local_bandwidth: cut_matrix.max_local_bandwidth(),
+            max_resource: part_resources.iter().copied().max().unwrap_or(0),
+            part_resources,
+            cut_matrix,
+        }
+    }
+
+    /// Lexicographic goodness key used by the paper's algorithm to rank
+    /// candidate partitionings: fewer violated constraints first, then
+    /// smaller violation magnitude, then smaller cut. Lower is better.
+    pub fn goodness_key(&self, rmax: u64, bmax: u64) -> (u64, u64, u64) {
+        let bw_viol = self.cut_matrix.violations(bmax);
+        let res_viol: Vec<u64> = self
+            .part_resources
+            .iter()
+            .copied()
+            .filter(|&r| r > rmax)
+            .collect();
+        let count = bw_viol.len() as u64 + res_viol.len() as u64;
+        let magnitude = self.cut_matrix.violation_magnitude(bmax)
+            + res_viol.iter().map(|r| r - rmax).sum::<u64>();
+        (count, magnitude, self.total_cut)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::GraphError;
+
+    /// 4-cycle with distinct weights: 0-1 (w1), 1-2 (w2), 2-3 (w3), 3-0 (w4)
+    fn cycle4() -> Result<WeightedGraph, GraphError> {
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..4).map(|i| g.add_node(10 * (i + 1))).collect();
+        g.add_edge(n[0], n[1], 1)?;
+        g.add_edge(n[1], n[2], 2)?;
+        g.add_edge(n[2], n[3], 3)?;
+        g.add_edge(n[3], n[0], 4)?;
+        Ok(g)
+    }
+
+    #[test]
+    fn cut_matrix_matches_edge_cut() {
+        let g = cycle4().unwrap();
+        let p = Partition::from_assignment(vec![0, 0, 1, 1], 2).unwrap();
+        let m = CutMatrix::compute(&g, &p);
+        // crossing edges: 1-2 (2) and 3-0 (4)
+        assert_eq!(m.get(0, 1), 6);
+        assert_eq!(m.total_cut(), 6);
+        assert_eq!(edge_cut(&g, &p), 6);
+        assert_eq!(edge_cut_count(&g, &p), 2);
+    }
+
+    #[test]
+    fn unassigned_nodes_do_not_contribute() {
+        let g = cycle4().unwrap();
+        let mut p = Partition::unassigned(4, 2);
+        p.assign(NodeId(0), 0);
+        p.assign(NodeId(1), 1);
+        // only edge 0-1 has both ends assigned
+        assert_eq!(edge_cut(&g, &p), 1);
+        let m = CutMatrix::compute(&g, &p);
+        assert_eq!(m.total_cut(), 1);
+    }
+
+    #[test]
+    fn incremental_move_matches_recompute() {
+        let g = cycle4().unwrap();
+        let mut p = Partition::from_assignment(vec![0, 0, 1, 1], 2).unwrap();
+        let mut m = CutMatrix::compute(&g, &p);
+        // move node 1 from part 0 to part 1
+        m.apply_move(&g, &p, NodeId(1), 0, 1);
+        p.assign(NodeId(1), 1);
+        assert_eq!(m, CutMatrix::compute(&g, &p));
+        // move it back
+        m.apply_move(&g, &p, NodeId(1), 1, 0);
+        p.assign(NodeId(1), 0);
+        assert_eq!(m, CutMatrix::compute(&g, &p));
+    }
+
+    #[test]
+    fn incremental_move_from_unassigned() {
+        let g = cycle4().unwrap();
+        let mut p = Partition::unassigned(4, 2);
+        p.assign(NodeId(0), 0);
+        p.assign(NodeId(2), 1);
+        let mut m = CutMatrix::compute(&g, &p);
+        m.apply_move(&g, &p, NodeId(1), Partition::UNASSIGNED, 1);
+        p.assign(NodeId(1), 1);
+        assert_eq!(m, CutMatrix::compute(&g, &p));
+    }
+
+    #[test]
+    fn max_local_bandwidth_is_max_pair() {
+        let g = cycle4().unwrap();
+        let p = Partition::from_assignment(vec![0, 1, 2, 3], 4).unwrap();
+        let m = CutMatrix::compute(&g, &p);
+        assert_eq!(m.get(0, 1), 1);
+        assert_eq!(m.get(1, 2), 2);
+        assert_eq!(m.get(2, 3), 3);
+        assert_eq!(m.get(0, 3), 4);
+        assert_eq!(m.max_local_bandwidth(), 4);
+        assert_eq!(m.total_cut(), 10);
+    }
+
+    #[test]
+    fn violations_and_magnitude() {
+        let g = cycle4().unwrap();
+        let p = Partition::from_assignment(vec![0, 1, 2, 3], 4).unwrap();
+        let m = CutMatrix::compute(&g, &p);
+        let v = m.violations(2);
+        assert_eq!(v, vec![(0, 3, 4), (2, 3, 3)]);
+        assert_eq!(m.violation_magnitude(2), 2 + 1);
+        assert!(m.violations(10).is_empty());
+    }
+
+    #[test]
+    fn imbalance_of_balanced_partition_is_low() {
+        let mut g = WeightedGraph::new();
+        for _ in 0..4 {
+            g.add_node(10);
+        }
+        let p = Partition::from_assignment(vec![0, 0, 1, 1], 2).unwrap();
+        assert!((imbalance(&g, &p) - 1.0).abs() < 1e-9);
+        let p = Partition::from_assignment(vec![0, 0, 0, 1], 2).unwrap();
+        assert!((imbalance(&g, &p) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quality_measures_all_metrics() {
+        let g = cycle4().unwrap();
+        let p = Partition::from_assignment(vec![0, 0, 1, 1], 2).unwrap();
+        let q = PartitionQuality::measure(&g, &p);
+        assert_eq!(q.total_cut, 6);
+        assert_eq!(q.max_local_bandwidth, 6);
+        assert_eq!(q.max_resource, 70); // parts: 10+20=30, 30+40=70
+        assert_eq!(q.part_resources, vec![30, 70]);
+    }
+
+    #[test]
+    fn goodness_prefers_feasible_over_cheap() {
+        let g = cycle4().unwrap();
+        // feasible but higher cut
+        let p1 = Partition::from_assignment(vec![0, 0, 1, 1], 2).unwrap();
+        // "cheaper" cut in some other metric but violates rmax=50
+        let p2 = Partition::from_assignment(vec![0, 1, 1, 1], 2).unwrap();
+        let q1 = PartitionQuality::measure(&g, &p1);
+        let q2 = PartitionQuality::measure(&g, &p2);
+        // rmax 70, bmax 6: p1 feasible
+        assert!(q1.goodness_key(70, 6) < q2.goodness_key(70, 6));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the graph substrate: contraction invariants,
+//! incremental metric consistency, and I/O round-trips on arbitrary
+//! graphs.
+
+use ppn_graph::contract::contract;
+use ppn_graph::io::{matrix, metis};
+use ppn_graph::matching::random_maximal_matching;
+use ppn_graph::metrics::{edge_cut, CutMatrix};
+use ppn_graph::partition::Partition;
+use ppn_graph::{NodeId, WeightedGraph};
+use proptest::prelude::*;
+
+/// Strategy: a random simple graph with 2..=24 nodes, edge probability ~
+/// controlled by the pair mask, weights in small ranges.
+fn arb_graph() -> impl Strategy<Value = WeightedGraph> {
+    (2usize..24, any::<u64>(), 1u64..50, 1u64..20).prop_map(|(n, mask, wmax, emax)| {
+        let mut g = WeightedGraph::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| g.add_node(1 + (mask.rotate_left(i as u32) % wmax)))
+            .collect();
+        let mut bit = 0u32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                bit = bit.wrapping_add(1);
+                // pseudo-random inclusion driven by the mask
+                if (mask.rotate_left(bit) & 3) == 0 {
+                    let w = 1 + (mask.rotate_right(bit) % emax);
+                    g.add_edge(ids[i], ids[j], w).unwrap();
+                }
+            }
+        }
+        g
+    })
+}
+
+fn arb_partition(n: usize, k: usize, seed: u64) -> Partition {
+    let assign: Vec<u32> = (0..n)
+        .map(|i| ((seed.rotate_left(i as u32) ^ i as u64) % k as u64) as u32)
+        .collect();
+    Partition::from_assignment(assign, k).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn contraction_preserves_node_weight(g in arb_graph(), seed in any::<u64>()) {
+        let m = random_maximal_matching(&g, seed);
+        prop_assert!(m.validate(&g));
+        prop_assert!(m.is_maximal(&g));
+        let (c, map) = contract(&g, &m);
+        prop_assert_eq!(c.total_node_weight(), g.total_node_weight());
+        prop_assert_eq!(map.coarse_nodes, c.num_nodes());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn contraction_preserves_crossing_weight(g in arb_graph(), seed in any::<u64>()) {
+        // total fine edge weight = coarse edge weight + absorbed weight
+        let m = random_maximal_matching(&g, seed);
+        let (c, _) = contract(&g, &m);
+        prop_assert_eq!(
+            g.total_edge_weight(),
+            c.total_edge_weight() + m.absorbed_weight(&g)
+        );
+    }
+
+    #[test]
+    fn projected_cut_matches_coarse_cut(g in arb_graph(), seed in any::<u64>(), k in 2usize..5) {
+        let m = random_maximal_matching(&g, seed);
+        let (c, map) = contract(&g, &m);
+        let pc = arb_partition(c.num_nodes(), k, seed);
+        let pf = pc.project(&map.map);
+        prop_assert_eq!(edge_cut(&c, &pc), edge_cut(&g, &pf));
+        // pairwise matrices agree too
+        let mc = CutMatrix::compute(&c, &pc);
+        let mf = CutMatrix::compute(&g, &pf);
+        prop_assert_eq!(mc, mf);
+    }
+
+    #[test]
+    fn cut_matrix_total_matches_edge_cut(g in arb_graph(), seed in any::<u64>(), k in 2usize..6) {
+        let p = arb_partition(g.num_nodes(), k, seed);
+        let m = CutMatrix::compute(&g, &p);
+        prop_assert_eq!(m.total_cut(), edge_cut(&g, &p));
+    }
+
+    #[test]
+    fn incremental_moves_agree_with_recompute(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        k in 2usize..5,
+        moves in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..30)
+    ) {
+        let mut p = arb_partition(g.num_nodes(), k, seed);
+        let mut m = CutMatrix::compute(&g, &p);
+        for (rn, rp) in moves {
+            let n = NodeId((rn as usize % g.num_nodes()) as u32);
+            let to = rp % k as u32;
+            let from = p.part_of(n);
+            m.apply_move(&g, &p, n, from, to);
+            p.assign(n, to);
+        }
+        prop_assert_eq!(m, CutMatrix::compute(&g, &p));
+    }
+
+    #[test]
+    fn metis_roundtrip(g in arb_graph()) {
+        let text = metis::write(&g);
+        let g2 = metis::parse(&text).unwrap();
+        prop_assert_eq!(g2.num_nodes(), g.num_nodes());
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        prop_assert_eq!(g2.total_edge_weight(), g.total_edge_weight());
+        for v in g.node_ids() {
+            prop_assert_eq!(g2.node_weight(v), g.node_weight(v));
+        }
+        for (u, v, w) in g.edges() {
+            let e = g2.find_edge(u, v).unwrap();
+            prop_assert_eq!(g2.edge_weight(e), w);
+        }
+    }
+
+    #[test]
+    fn matrix_roundtrip(g in arb_graph()) {
+        let text = matrix::write(&g);
+        let g2 = matrix::parse(&text).unwrap();
+        prop_assert_eq!(g2.num_nodes(), g.num_nodes());
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        for (u, v, w) in g.edges() {
+            let e = g2.find_edge(u, v).unwrap();
+            prop_assert_eq!(g2.edge_weight(e), w);
+        }
+    }
+
+    #[test]
+    fn part_weights_sum_to_total_when_complete(g in arb_graph(), seed in any::<u64>(), k in 1usize..6) {
+        let p = arb_partition(g.num_nodes(), k, seed);
+        let weights = p.part_weights(&g);
+        prop_assert_eq!(weights.iter().sum::<u64>(), g.total_node_weight());
+    }
+}

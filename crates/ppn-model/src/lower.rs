@@ -1,0 +1,118 @@
+//! Lowering a process network to the partitioning graph.
+//!
+//! The partitioners operate on an undirected weighted graph (paper §I):
+//! node weight = the process's resource scalar; edge weight = the summed
+//! *volume* of every channel (either direction) between the two
+//! processes. Channel direction is irrelevant to the mapping problem —
+//! an inter-FPGA link is consumed by traffic either way — and self-loops
+//! never leave an FPGA, so both disappear here.
+
+use crate::network::{ProcessId, ProcessNetwork};
+use ppn_graph::{NodeId, WeightedGraph};
+
+/// Options for [`lower_to_graph`].
+#[derive(Clone, Debug)]
+pub struct LoweringOptions {
+    /// Divide channel volumes by this factor (e.g. app iterations) to
+    /// express *sustained* bandwidth rather than total volume; weights
+    /// are clamped to ≥ 1 so edges never vanish.
+    pub volume_divisor: u64,
+}
+
+impl Default for LoweringOptions {
+    fn default() -> Self {
+        LoweringOptions { volume_divisor: 1 }
+    }
+}
+
+/// Lower `net` to a [`WeightedGraph`]. Node `i` of the graph corresponds
+/// to process `i` (labels carry the process names).
+pub fn lower_to_graph(net: &ProcessNetwork, opts: &LoweringOptions) -> WeightedGraph {
+    let div = opts.volume_divisor.max(1);
+    let mut g = WeightedGraph::new();
+    for p in net.process_ids() {
+        let proc = net.process(p);
+        g.add_labeled_node(proc.resources.scalar(), proc.name.clone());
+    }
+    for c in net.channel_ids() {
+        let ch = net.channel(c);
+        if ch.from == ch.to {
+            continue; // intra-process state never crosses FPGAs
+        }
+        let w = (ch.volume / div).max(1);
+        g.add_or_merge_edge(to_node(ch.from), to_node(ch.to), w)
+            .expect("endpoints exist and differ");
+    }
+    g
+}
+
+#[inline]
+fn to_node(p: ProcessId) -> NodeId {
+    NodeId(p.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowering_merges_bidirectional_channels() {
+        let mut n = ProcessNetwork::new();
+        let a = n.add_simple_process("a", 10, 1, 10);
+        let b = n.add_simple_process("b", 20, 1, 10);
+        n.add_channel(a, b, 30, 2);
+        n.add_channel(b, a, 12, 2);
+        let g = lower_to_graph(&n, &LoweringOptions::default());
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+        let e = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(g.edge_weight(e), 42);
+        assert_eq!(g.label(NodeId(0)), Some("a"));
+        assert_eq!(g.node_weight(NodeId(1)), 20);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let mut n = ProcessNetwork::new();
+        let a = n.add_simple_process("a", 5, 1, 10);
+        n.add_channel(a, a, 100, 1);
+        let g = lower_to_graph(&n, &LoweringOptions::default());
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn volume_divisor_scales_with_floor_one() {
+        let mut n = ProcessNetwork::new();
+        let a = n.add_simple_process("a", 5, 1, 10);
+        let b = n.add_simple_process("b", 5, 1, 10);
+        n.add_channel(a, b, 1000, 2);
+        let g = lower_to_graph(
+            &n,
+            &LoweringOptions {
+                volume_divisor: 100,
+            },
+        );
+        let e = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(g.edge_weight(e), 10);
+        // tiny volume still yields weight 1
+        let mut n2 = ProcessNetwork::new();
+        let a = n2.add_simple_process("a", 5, 1, 10);
+        let b = n2.add_simple_process("b", 5, 1, 10);
+        n2.add_channel(a, b, 3, 2);
+        let g2 = lower_to_graph(
+            &n2,
+            &LoweringOptions {
+                volume_divisor: 100,
+            },
+        );
+        assert_eq!(g2.edge_weight(g2.find_edge(NodeId(0), NodeId(1)).unwrap()), 1);
+    }
+
+    #[test]
+    fn zero_resource_process_gets_weight_one() {
+        let mut n = ProcessNetwork::new();
+        n.add_simple_process("stub", 0, 1, 1);
+        let g = lower_to_graph(&n, &LoweringOptions::default());
+        assert_eq!(g.node_weight(NodeId(0)), 1);
+    }
+}

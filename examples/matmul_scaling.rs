@@ -1,0 +1,45 @@
+//! Domain scenario 3 — HPC kernel: matrix-multiply PPNs of growing
+//! size, partitioned onto platforms of 2–8 FPGAs; shows how the
+//! feasibility frontier moves as the constraints tighten relative to
+//! the workload.
+//!
+//! Run with `cargo run --release --example matmul_scaling`.
+
+use ppn_partition::ppn_model::{lower_to_graph, LoweringOptions};
+use ppn_partition::ppn_poly::{derive_ppn, kernels, CostModel};
+use ppn_partition::{Constraints, GpPartitioner};
+
+fn main() {
+    println!(
+        "{:>4} {:>3} {:>8} {:>8} {:>9} {:>6} {:>6} {:>9}",
+        "n", "k", "procs", "volume", "feasible", "cut", "maxbw", "maxres"
+    );
+    for n in [4i64, 6, 8] {
+        let program = kernels::matmul(n);
+        let net = derive_ppn(&program, &CostModel::default());
+        let g = lower_to_graph(&net, &LoweringOptions::default());
+        for k in [2usize, 4] {
+            // platform sized to ~1.4× balanced share, links to a third
+            // of the total traffic
+            let rmax = (g.total_node_weight() as f64 / k as f64 * 1.4).ceil() as u64;
+            let bmax = (g.total_edge_weight() as f64 * 0.45).ceil() as u64;
+            let constraints = Constraints::new(rmax, bmax);
+            let outcome = GpPartitioner::default().partition(&g, k, &constraints);
+            let (feasible, q) = match &outcome {
+                Ok(r) => (true, r.quality.clone()),
+                Err(b) => (false, b.best.quality.clone()),
+            };
+            println!(
+                "{:>4} {:>3} {:>8} {:>8} {:>9} {:>6} {:>6} {:>9}",
+                n,
+                k,
+                net.num_processes(),
+                net.total_volume(),
+                feasible,
+                q.total_cut,
+                q.max_local_bandwidth,
+                q.max_resource
+            );
+        }
+    }
+}

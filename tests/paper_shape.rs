@@ -1,0 +1,96 @@
+//! Integration tests asserting the *shape* of the paper's evaluation
+//! (Tables I–III): on every experiment instance the unconstrained
+//! baseline violates at least one constraint, GP satisfies both, and
+//! the cut premium GP pays stays modest.
+
+use ppn_partition::metis_lite::{self, MetisOptions};
+use ppn_partition::ppn_gen::paper::all_experiments;
+use ppn_partition::ppn_graph::metrics::PartitionQuality;
+use ppn_partition::GpPartitioner;
+
+#[test]
+fn gp_meets_constraints_on_all_experiments() {
+    for e in all_experiments() {
+        let r = GpPartitioner::default()
+            .partition(&e.graph, e.k, &e.constraints)
+            .unwrap_or_else(|_| panic!("experiment {} must be feasible for GP", e.id));
+        assert!(r.feasible);
+        assert!(r.quality.max_local_bandwidth <= e.constraints.bmax);
+        assert!(r.quality.max_resource <= e.constraints.rmax);
+        assert!(r.partition.is_complete());
+        assert_eq!(r.partition.k(), 4);
+    }
+}
+
+#[test]
+fn baseline_violates_constraints_on_all_experiments() {
+    for e in all_experiments() {
+        let m = metis_lite::kway_partition(&e.graph, e.k, &MetisOptions::default().with_seed(1));
+        let rep = e.constraints.check_quality(&m.quality);
+        assert!(
+            !rep.is_feasible(),
+            "experiment {}: the baseline should violate a constraint (paper's key claim)",
+            e.id
+        );
+    }
+}
+
+#[test]
+fn experiment_violation_patterns_match_the_paper() {
+    // Table I: both violated; Table II: resource only; Table III:
+    // bandwidth only.
+    let expect = [(false, false), (false, true), (true, false)];
+    for (e, (res_ok, bw_ok)) in all_experiments().iter().zip(expect) {
+        let m = metis_lite::kway_partition(&e.graph, e.k, &MetisOptions::default().with_seed(1));
+        let rep = e.constraints.check_quality(&m.quality);
+        assert_eq!(
+            rep.resource_violations.is_empty(),
+            res_ok,
+            "experiment {} resource pattern",
+            e.id
+        );
+        assert_eq!(
+            rep.bandwidth_violations.is_empty(),
+            bw_ok,
+            "experiment {} bandwidth pattern",
+            e.id
+        );
+    }
+}
+
+#[test]
+fn gp_cut_premium_is_bounded() {
+    // The paper calls the cut increase "near to negligible"; allow a
+    // generous 60% margin over the unconstrained baseline to keep the
+    // test robust across refactors.
+    for e in all_experiments() {
+        let m = metis_lite::kway_partition(&e.graph, e.k, &MetisOptions::default().with_seed(1));
+        let g = GpPartitioner::default()
+            .partition(&e.graph, e.k, &e.constraints)
+            .expect("feasible");
+        assert!(
+            (g.quality.total_cut as f64) <= m.quality.total_cut as f64 * 1.6,
+            "experiment {}: GP cut {} too far above baseline {}",
+            e.id,
+            g.quality.total_cut,
+            m.quality.total_cut
+        );
+    }
+}
+
+#[test]
+fn quality_rows_are_internally_consistent() {
+    for e in all_experiments() {
+        let r = GpPartitioner::default()
+            .partition(&e.graph, e.k, &e.constraints)
+            .expect("feasible");
+        let q = PartitionQuality::measure(&e.graph, &r.partition);
+        assert_eq!(q.total_cut, r.quality.total_cut);
+        assert_eq!(q.max_local_bandwidth, r.quality.max_local_bandwidth);
+        assert_eq!(q.max_resource, r.quality.max_resource);
+        assert_eq!(
+            q.part_resources.iter().sum::<u64>(),
+            e.graph.total_node_weight()
+        );
+    }
+}
