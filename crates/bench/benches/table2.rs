@@ -14,7 +14,10 @@ fn bench_table(c: &mut Criterion) {
         run_metis(&e.graph, e.k, &e.constraints, 1),
         run_gp(&e.graph, e.k, &e.constraints, 1),
     ];
-    println!("{}", format_table("Table 2 reproduction", &e.constraints, &rows));
+    println!(
+        "{}",
+        format_table("Table 2 reproduction", &e.constraints, &rows)
+    );
 
     let mut group = c.benchmark_group("table2");
     group.sample_size(20);

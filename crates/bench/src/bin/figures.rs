@@ -46,8 +46,7 @@ fn main() {
             },
         );
 
-        let gp = GpPartitioner::new(GpParams::default())
-            .partition(&e.graph, e.k, &e.constraints);
+        let gp = GpPartitioner::new(GpParams::default()).partition(&e.graph, e.k, &e.constraints);
         let (gp_partition, trace) = match gp {
             Ok(r) => (r.partition, r.trace),
             Err(b) => (b.best.partition.clone(), b.best.trace),

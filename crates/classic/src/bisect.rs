@@ -117,12 +117,7 @@ pub fn bisect(g: &WeightedGraph, opts: &BisectOptions) -> Bisection {
 /// Recursively bisect `g` into `k` parts. The weight share assigned to
 /// each half is proportional to the number of final parts it will hold,
 /// so non-power-of-two `k` stays balanced.
-pub fn recursive_bisection(
-    g: &WeightedGraph,
-    k: usize,
-    balance: f64,
-    seed: u64,
-) -> Partition {
+pub fn recursive_bisection(g: &WeightedGraph, k: usize, balance: f64, seed: u64) -> Partition {
     assert!(k >= 1, "k must be at least 1");
     let mut p = Partition::unassigned(g.num_nodes(), k);
     let all: Vec<NodeId> = g.node_ids().collect();

@@ -80,6 +80,7 @@ fn node_gain(g: &WeightedGraph, p: &Partition, v: NodeId) -> i64 {
 /// best-prefix selection at the end of the pass only commits states that
 /// respect the strict caps. A move that strictly reduces the total cap
 /// violation is always admissible (escape mode for infeasible starts).
+#[allow(clippy::too_many_arguments)]
 fn admissible(
     weights: &[u64; 2],
     sizes: &[usize; 2],
@@ -112,11 +113,7 @@ fn violation(weights: &[u64; 2], caps: &[u64; 2]) -> u64 {
 /// Refine a complete 2-way partition in place. Returns pass statistics.
 ///
 /// Panics if `p` is not a complete bisection of `g`.
-pub fn fm_refine_bisection(
-    g: &WeightedGraph,
-    p: &mut Partition,
-    opts: &FmOptions,
-) -> FmOutcome {
+pub fn fm_refine_bisection(g: &WeightedGraph, p: &mut Partition, opts: &FmOptions) -> FmOutcome {
     assert_eq!(p.k(), 2, "FM refines bisections");
     p.check_against(g).expect("partition matches graph");
     assert!(p.is_complete(), "FM needs a complete partition");
@@ -160,6 +157,7 @@ pub fn fm_refine_bisection(
         loop {
             // choose the best admissible move over both directions
             let mut choice: Option<(i64, usize)> = None; // (gain, from side)
+            #[allow(clippy::needless_range_loop)] // s indexes four arrays, not just heaps
             for s in 0..2 {
                 let t = 1 - s;
                 // only the top of each heap is inspected (the classic
@@ -167,8 +165,16 @@ pub fn fm_refine_bisection(
                 // checking it would break the linear pass bound.
                 if let Some((gain, v)) = heaps[s].peek() {
                     let wv = g.node_weight(NodeId(v));
-                    if admissible(&weights, &sizes, &caps, slack, wv, s, t, opts.allow_empty_side)
-                    {
+                    if admissible(
+                        &weights,
+                        &sizes,
+                        &caps,
+                        slack,
+                        wv,
+                        s,
+                        t,
+                        opts.allow_empty_side,
+                    ) {
                         match choice {
                             Some((bg, _)) if bg >= gain => {}
                             _ => choice = Some((gain, s)),

@@ -11,11 +11,7 @@ use ppn_graph::{NodeId, Partition, WeightedGraph};
 
 /// Grow a region from `seed` until its weight reaches `target_weight`.
 /// Returns a bisection: grown region = part 0, rest = part 1.
-pub fn greedy_grow_bisection(
-    g: &WeightedGraph,
-    seed: NodeId,
-    target_weight: u64,
-) -> Partition {
+pub fn greedy_grow_bisection(g: &WeightedGraph, seed: NodeId, target_weight: u64) -> Partition {
     let n = g.num_nodes();
     let mut p = Partition::unassigned(n, 2);
     if n == 0 {
@@ -48,7 +44,13 @@ pub fn greedy_grow_bisection(
         }
     };
 
-    absorb(seed, &mut in_region, &mut link_in, &mut heap, &mut region_weight);
+    absorb(
+        seed,
+        &mut in_region,
+        &mut link_in,
+        &mut heap,
+        &mut region_weight,
+    );
     while region_weight < target_weight {
         let Some((_, v)) = heap.pop() else {
             // frontier empty (disconnected graph): jump to the lightest
@@ -59,7 +61,13 @@ pub fn greedy_grow_bisection(
                 .min_by_key(|&v| g.node_weight(v));
             match next {
                 Some(v) => {
-                    absorb(v, &mut in_region, &mut link_in, &mut heap, &mut region_weight);
+                    absorb(
+                        v,
+                        &mut in_region,
+                        &mut link_in,
+                        &mut heap,
+                        &mut region_weight,
+                    );
                     continue;
                 }
                 None => break,
@@ -69,7 +77,13 @@ pub fn greedy_grow_bisection(
         if in_region[v.index()] {
             continue;
         }
-        absorb(v, &mut in_region, &mut link_in, &mut heap, &mut region_weight);
+        absorb(
+            v,
+            &mut in_region,
+            &mut link_in,
+            &mut heap,
+            &mut region_weight,
+        );
     }
 
     for v in g.node_ids() {
@@ -112,8 +126,8 @@ mod tests {
 
     #[test]
     fn grown_region_is_connected_on_connected_graph() {
-        use ppn_graph::algo::components::is_connected;
         use crate::subgraph::induced_subgraph;
+        use ppn_graph::algo::components::is_connected;
         let g = grid3x3();
         let p = greedy_grow_bisection(&g, NodeId(4), 4);
         let members = p.members();

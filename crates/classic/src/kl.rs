@@ -51,7 +51,9 @@ fn d_value(g: &WeightedGraph, p: &Partition, v: NodeId) -> i64 {
 
 fn kl_pass(g: &WeightedGraph, p: &mut Partition, current_cut: &mut u64) -> bool {
     let n = g.num_nodes();
-    let mut d: Vec<i64> = (0..n).map(|i| d_value(g, p, NodeId::from_index(i))).collect();
+    let mut d: Vec<i64> = (0..n)
+        .map(|i| d_value(g, p, NodeId::from_index(i)))
+        .collect();
     let mut locked = vec![false; n];
 
     let side_a: Vec<NodeId> = g.node_ids().filter(|&v| p.part_of(v) == 0).collect();
@@ -117,7 +119,9 @@ fn kl_pass(g: &WeightedGraph, p: &mut Partition, current_cut: &mut u64) -> bool 
 
 #[inline]
 fn edge_w(g: &WeightedGraph, a: NodeId, b: NodeId) -> i64 {
-    g.find_edge(a, b).map(|e| g.edge_weight(e) as i64).unwrap_or(0)
+    g.find_edge(a, b)
+        .map(|e| g.edge_weight(e) as i64)
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -42,7 +42,10 @@ impl KwayOptions {
 pub fn kway_refine(g: &WeightedGraph, p: &mut Partition, opts: &KwayOptions) -> usize {
     let k = p.k();
     assert_eq!(opts.max_part_weight.len(), k, "cap vector length != k");
-    assert!(p.is_complete(), "k-way refinement needs a complete partition");
+    assert!(
+        p.is_complete(),
+        "k-way refinement needs a complete partition"
+    );
 
     let mut part_weight = p.part_weights(g);
     let mut part_size = p.part_sizes();

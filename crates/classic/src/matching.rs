@@ -15,15 +15,12 @@ use ppn_graph::WeightedGraph;
 /// endpoints that are both free. Ties are broken by a seeded shuffle so
 /// that repeated coarsening attempts explore different contractions.
 pub fn heavy_edge_matching(g: &WeightedGraph, seed: u64) -> Matching {
-    let mut edges: Vec<(u64, u32)> = g
-        .edge_ids()
-        .map(|e| (g.edge_weight(e), e.0))
-        .collect();
+    let mut edges: Vec<(u64, u32)> = g.edge_ids().map(|e| (g.edge_weight(e), e.0)).collect();
     // shuffle first so that the stable sort keeps a random order inside
     // each weight class
     let mut rng = XorShift128Plus::new(seed);
     rng.shuffle(&mut edges);
-    edges.sort_by(|a, b| b.0.cmp(&a.0));
+    edges.sort_by_key(|e| std::cmp::Reverse(e.0));
 
     let mut m = Matching::empty(g.num_nodes());
     for &(_, eid) in &edges {

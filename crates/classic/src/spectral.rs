@@ -168,11 +168,11 @@ mod tests {
         let f = fiedler_vector(&g, &SpectralOptions::default()).unwrap();
         // all of clique 0 on one sign, clique 1 on the other
         let sign0 = f[0].signum();
-        for i in 0..5 {
-            assert_eq!(f[i].signum(), sign0, "node {i} crossed the cut");
+        for (i, v) in f.iter().enumerate().take(5) {
+            assert_eq!(v.signum(), sign0, "node {i} crossed the cut");
         }
-        for i in 5..10 {
-            assert_eq!(f[i].signum(), -sign0, "node {i} crossed the cut");
+        for (i, v) in f.iter().enumerate().skip(5) {
+            assert_eq!(v.signum(), -sign0, "node {i} crossed the cut");
         }
     }
 

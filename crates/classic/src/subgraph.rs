@@ -12,10 +12,7 @@ pub fn induced_subgraph(g: &WeightedGraph, nodes: &[NodeId]) -> (WeightedGraph, 
     let mut sub = WeightedGraph::new();
     let mut back = Vec::with_capacity(nodes.len());
     for &v in nodes {
-        debug_assert!(
-            to_sub[v.index()] == u32::MAX,
-            "duplicate node in selection"
-        );
+        debug_assert!(to_sub[v.index()] == u32::MAX, "duplicate node in selection");
         let id = match g.label(v) {
             Some(l) => sub.add_labeled_node(g.node_weight(v), l.to_string()),
             None => sub.add_node(g.node_weight(v)),

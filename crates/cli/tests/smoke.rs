@@ -1,0 +1,125 @@
+//! End-to-end smoke test of the `gp` binary: generate an instance,
+//! partition it under constraints, and check the artifacts it writes.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn gp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gp"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gp-smoke-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn gen_then_partition_end_to_end() {
+    let dir = temp_dir("pipeline");
+    let graph_path = dir.join("graph.metis");
+    let out_path = dir.join("partition.json");
+    let dot_path = dir.join("partition.dot");
+
+    // 1. generate a random instance in METIS format on stdout
+    let gen = gp()
+        .args(["gen", "--nodes", "24", "--edges", "60", "--seed", "7"])
+        .output()
+        .expect("failed to run gp gen");
+    assert!(gen.status.success(), "gp gen failed: {gen:?}");
+    let metis_text = String::from_utf8(gen.stdout).unwrap();
+    assert!(!metis_text.trim().is_empty(), "gp gen wrote nothing");
+    std::fs::write(&graph_path, &metis_text).unwrap();
+
+    // 2. partition it with generous constraints — must succeed (exit 0)
+    let run = gp()
+        .args([
+            "partition",
+            "--input",
+            graph_path.to_str().unwrap(),
+            "--k",
+            "4",
+            "--rmax",
+            "100000",
+            "--bmax",
+            "100000",
+            "--seed",
+            "11",
+            "--out",
+            out_path.to_str().unwrap(),
+            "--dot",
+            dot_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("failed to run gp partition");
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(
+        run.status.success(),
+        "gp partition exited nonzero\nstdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    assert!(stdout.contains("k=4"), "summary line missing: {stdout}");
+
+    // 3. artifacts parse back
+    let json_text = std::fs::read_to_string(&out_path).unwrap();
+    let p = ppn_graph::io::json::partition_from_json(&json_text).unwrap();
+    assert_eq!(p.len(), 24);
+    assert!(p.is_complete());
+    let dot = std::fs::read_to_string(&dot_path).unwrap();
+    assert!(dot.starts_with("graph "));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn baseline_flag_runs_metis_lite() {
+    let dir = temp_dir("baseline");
+    let graph_path = dir.join("graph.metis");
+    let gen = gp()
+        .args(["gen", "--nodes", "12", "--edges", "24", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    std::fs::write(&graph_path, &gen.stdout).unwrap();
+
+    let run = gp()
+        .args([
+            "partition",
+            "--baseline",
+            "--input",
+            graph_path.to_str().unwrap(),
+            "--k",
+            "3",
+            "--rmax",
+            "100000",
+            "--bmax",
+            "100000",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        run.status.success(),
+        "baseline run failed: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn demo_subcommand_prints_both_partitioners() {
+    let run = gp().args(["demo", "1"]).output().unwrap();
+    assert!(run.status.success());
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(stdout.contains("experiment 1"), "got: {stdout}");
+    assert!(stdout.contains("baseline"), "got: {stdout}");
+    assert!(stdout.contains("gp"), "got: {stdout}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let run = gp().arg("frobnicate").output().unwrap();
+    assert!(!run.status.success());
+    let run = gp().args(["partition", "--k", "4"]).output().unwrap();
+    assert!(!run.status.success(), "missing --input must fail usage");
+}

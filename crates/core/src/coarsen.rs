@@ -46,8 +46,7 @@ pub fn best_matching(
         let better = match &best {
             None => true,
             Some((ba, bp, bi, _, _)) => {
-                (absorbed, pairs, std::cmp::Reverse(i))
-                    > (*ba, *bp, std::cmp::Reverse(*bi))
+                (absorbed, pairs, std::cmp::Reverse(i)) > (*ba, *bp, std::cmp::Reverse(*bi))
             }
         };
         if better {
@@ -136,7 +135,8 @@ mod tests {
         let mut g = WeightedGraph::new();
         let ids: Vec<_> = (0..n).map(|_| g.add_node(w)).collect();
         for i in 0..n {
-            g.add_edge(ids[i], ids[(i + 1) % n], 1 + (i as u64 % 5)).unwrap();
+            g.add_edge(ids[i], ids[(i + 1) % n], 1 + (i as u64 % 5))
+                .unwrap();
         }
         g
     }
@@ -167,7 +167,10 @@ mod tests {
         assert_eq!(h.coarsest().total_node_weight(), g.total_node_weight());
         let trace = h.size_trace();
         assert_eq!(trace[0], 256);
-        assert!(trace.windows(2).all(|w| w[1] < w[0]), "sizes must shrink: {trace:?}");
+        assert!(
+            trace.windows(2).all(|w| w[1] < w[0]),
+            "sizes must shrink: {trace:?}"
+        );
     }
 
     #[test]

@@ -177,7 +177,9 @@ mod tests {
     /// Four triads with light bridges — feasible for sensible constraints.
     fn four_triads() -> WeightedGraph {
         let mut g = WeightedGraph::new();
-        let n: Vec<_> = (0..12).map(|i| g.add_node(30 + (i as u64 % 4) * 5)).collect();
+        let n: Vec<_> = (0..12)
+            .map(|i| g.add_node(30 + (i as u64 % 4) * 5))
+            .collect();
         for c in 0..4 {
             let b = c * 3;
             g.add_edge(n[b], n[b + 1], 8).unwrap();
@@ -278,7 +280,8 @@ mod tests {
             }
         }
         for comm in 0..4 {
-            g.add_edge(n[comm * 60], n[((comm + 1) % 4) * 60 + 3], 2).unwrap();
+            g.add_edge(n[comm * 60], n[((comm + 1) % 4) * 60 + 3], 2)
+                .unwrap();
         }
         let c = Constraints::new(260, 40);
         let r = gp_partition(&g, 4, &c, &GpParams::default()).expect("feasible");

@@ -52,13 +52,7 @@ impl Default for InitialOptions {
 }
 
 /// One greedy allocation from a given seed node.
-fn grow_from(
-    g: &WeightedGraph,
-    k: usize,
-    c: &Constraints,
-    first: NodeId,
-    seed: u64,
-) -> Partition {
+fn grow_from(g: &WeightedGraph, k: usize, c: &Constraints, first: NodeId, seed: u64) -> Partition {
     let n = g.num_nodes();
     let mut p = Partition::unassigned(n, k);
     let mut part_weight = vec![0u64; k];
@@ -70,12 +64,10 @@ fn grow_from(
 
     let mut next_seed = Some(first);
     for part in 0..k as u32 {
-        let Some(seed_node) = next_seed.take().or_else(|| {
-            by_weight
-                .iter()
-                .copied()
-                .find(|&v| !p.is_assigned(v))
-        }) else {
+        let Some(seed_node) = next_seed
+            .take()
+            .or_else(|| by_weight.iter().copied().find(|&v| !p.is_assigned(v)))
+        else {
             break; // everything assigned already
         };
         if p.is_assigned(seed_node) {
@@ -101,7 +93,8 @@ fn grow_from(
                     }
                     let w = g.edge_weight(e);
                     match best {
-                        Some((bw, bu)) if (bw, std::cmp::Reverse(bu.0)) >= (w, std::cmp::Reverse(u.0)) => {}
+                        Some((bw, bu))
+                            if (bw, std::cmp::Reverse(bu.0)) >= (w, std::cmp::Reverse(u.0)) => {}
                         _ => best = Some((w, u)),
                     }
                 }
@@ -259,7 +252,10 @@ mod tests {
         // rmax below the heaviest node: infeasible, but must not panic
         let c = Constraints::new(10, 100);
         let p = greedy_initial_partition(&g, 4, &c, &InitialOptions::default());
-        assert!(p.is_complete(), "overflow path must still assign everything");
+        assert!(
+            p.is_complete(),
+            "overflow path must still assign everything"
+        );
     }
 
     #[test]

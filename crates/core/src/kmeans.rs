@@ -97,7 +97,7 @@ pub fn kmeans_matching(g: &WeightedGraph, seed: u64) -> Matching {
     let mut edges: Vec<(u64, u32)> = g.edge_ids().map(|e| (g.edge_weight(e), e.0)).collect();
     let mut rng = XorShift128Plus::new(seed ^ 0x4B4D_4541_4E53);
     rng.shuffle(&mut edges);
-    edges.sort_by(|a, b| b.0.cmp(&a.0));
+    edges.sort_by_key(|e| std::cmp::Reverse(e.0));
     for &(_, eid) in &edges {
         let (u, v, _) = g.edge(ppn_graph::EdgeId(eid));
         if clusters[u.index()] != clusters[v.index()] {
@@ -183,7 +183,8 @@ mod tests {
         let mut g = WeightedGraph::new();
         let n: Vec<_> = (0..10).map(|i| g.add_node(1 + i % 3)).collect();
         for i in 0..10 {
-            g.add_edge(n[i], n[(i + 1) % 10], 1 + (i as u64 % 4)).unwrap();
+            g.add_edge(n[i], n[(i + 1) % 10], 1 + (i as u64 % 4))
+                .unwrap();
         }
         assert_eq!(kmeans_matching(&g, 5), kmeans_matching(&g, 5));
     }

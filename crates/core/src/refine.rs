@@ -235,9 +235,7 @@ pub fn constrained_refine(
                 }
                 let better = match &best {
                     None => true,
-                    Some((bd, bt)) => {
-                        (d.dviol, d.dcut, t) < (bd.dviol, bd.dcut, *bt)
-                    }
+                    Some((bd, bt)) => (d.dviol, d.dcut, t) < (bd.dviol, bd.dcut, *bt),
                 };
                 if better {
                     best = Some((d, t));
@@ -298,8 +296,8 @@ fn swap_pass(
                     // cheap resource prefilter before the exact check
                     let wa = state.part_weights[over];
                     let wb = state.part_weights[b];
-                    let res_before = (wa as i64 - c.rmax as i64).max(0)
-                        + (wb as i64 - c.rmax as i64).max(0);
+                    let res_before =
+                        (wa as i64 - c.rmax as i64).max(0) + (wb as i64 - c.rmax as i64).max(0);
                     let res_after = ((wa - wu + wv) as i64 - c.rmax as i64).max(0)
                         + ((wb - wv + wu) as i64 - c.rmax as i64).max(0);
                     if res_after >= res_before {
@@ -404,7 +402,10 @@ mod tests {
         constrained_refine(&g, &mut p, &c, &RefineOptions::default());
         let after = edge_cut(&g, &p);
         assert!(after <= before);
-        assert!(c.is_feasible(&g, &p), "refinement must keep feasibility reachable");
+        assert!(
+            c.is_feasible(&g, &p),
+            "refinement must keep feasibility reachable"
+        );
     }
 
     #[test]
@@ -419,7 +420,11 @@ mod tests {
         let c = Constraints::new(100, 10);
         let mut p = Partition::from_assignment(vec![0, 1, 1, 1], 2).unwrap();
         let s = ConstrainedState::new(&g, &p);
-        assert_eq!(s.violation(&c), 10, "start must violate for the test to bite");
+        assert_eq!(
+            s.violation(&c),
+            10,
+            "start must violate for the test to bite"
+        );
         constrained_refine(&g, &mut p, &c, &RefineOptions::default());
         let s2 = ConstrainedState::new(&g, &p);
         assert_eq!(s2.violation(&c), 0, "single-move repair should succeed");

@@ -52,10 +52,7 @@ pub fn coarsen_hierarchy(g: &WeightedGraph, coarsen_to: usize, seed: u64) -> Hie
             break;
         }
         let (coarse, map) = contract(&current, &m);
-        levels.push(Level {
-            fine: current,
-            map,
-        });
+        levels.push(Level { fine: current, map });
         current = coarse;
         round += 1;
     }
@@ -98,10 +95,7 @@ mod tests {
     fn weights_preserved_through_hierarchy() {
         let g = grid(16, 16);
         let h = coarsen_hierarchy(&g, 50, 2);
-        assert_eq!(
-            h.coarsest().total_node_weight(),
-            g.total_node_weight()
-        );
+        assert_eq!(h.coarsest().total_node_weight(), g.total_node_weight());
         for level in &h.levels {
             level.fine.validate().unwrap();
         }
@@ -127,7 +121,11 @@ mod tests {
             g.add_edge(hub, leaf, 1).unwrap();
         }
         let h = coarsen_hierarchy(&g, 4, 4);
-        assert!(h.depth() < 60, "coarsening should stall-stop, got depth {}", h.depth());
+        assert!(
+            h.depth() < 60,
+            "coarsening should stall-stop, got depth {}",
+            h.depth()
+        );
     }
 
     #[test]

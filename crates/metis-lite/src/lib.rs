@@ -74,15 +74,11 @@ pub fn kway_partition(g: &WeightedGraph, k: usize, opts: &MetisOptions) -> KwayR
     let coarsest = hierarchy.coarsest();
 
     // 2. initial partitioning on the coarsest graph
-    let mut part = recursive_bisection(
-        coarsest,
-        k,
-        opts.ufactor,
-        derive_seed(opts.seed, 0x1217),
-    );
+    let mut part = recursive_bisection(coarsest, k, opts.ufactor, derive_seed(opts.seed, 0x1217));
     let refine_opts = |graph: &WeightedGraph, stream: u64| KwayOptions {
         max_part_weight: vec![
-            ((graph.total_node_weight() as f64 / k as f64) * opts.ufactor).ceil() as u64
+            ((graph.total_node_weight() as f64 / k as f64) * opts.ufactor).ceil()
+                as u64
                 + graph.max_node_weight();
             k
         ],
@@ -95,7 +91,11 @@ pub fn kway_partition(g: &WeightedGraph, k: usize, opts: &MetisOptions) -> KwayR
     // 3. project back through the hierarchy, refining at each level
     for (i, level) in hierarchy.levels.iter().enumerate().rev() {
         part = part.project(&level.map.map);
-        kway_refine(&level.fine, &mut part, &refine_opts(&level.fine, 0xF1 + i as u64));
+        kway_refine(
+            &level.fine,
+            &mut part,
+            &refine_opts(&level.fine, 0xF1 + i as u64),
+        );
     }
 
     let quality = PartitionQuality::measure(g, &part);

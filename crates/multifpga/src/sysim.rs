@@ -271,7 +271,12 @@ mod tests {
         assert!(r.completed, "{r:?}");
         let base = ppn_model::simulate(&net, &ppn_model::SimOptions::default());
         // same pipeline behaviour: within a couple of cycles
-        assert!(r.cycles.abs_diff(base.cycles) <= 3, "{} vs {}", r.cycles, base.cycles);
+        assert!(
+            r.cycles.abs_diff(base.cycles) <= 3,
+            "{} vs {}",
+            r.cycles,
+            base.cycles
+        );
         assert_eq!(r.link_tokens.iter().sum::<u64>(), 0);
     }
 
@@ -283,7 +288,11 @@ mod tests {
         let r = simulate_mapped(&net, &m, &platform, &SystemOptions::default());
         assert!(r.completed, "{r:?}");
         // 1 token/cycle demand ≤ 10/cycle link: only pipeline fill extra
-        assert!(r.cycles <= 60, "bounded slowdown expected, got {}", r.cycles);
+        assert!(
+            r.cycles <= 60,
+            "bounded slowdown expected, got {}",
+            r.cycles
+        );
         assert_eq!(r.link_tokens[1], 50);
     }
 

@@ -29,7 +29,10 @@ impl AffineExpr {
         assert!(i < ndims, "variable index out of range");
         let mut coeffs = vec![0; ndims];
         coeffs[i] = 1;
-        AffineExpr { coeffs, constant: 0 }
+        AffineExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// Number of dimensions this expression ranges over.

@@ -30,16 +30,17 @@ pub struct Dependence {
 /// lexicographic order is the sequential execution order.
 type Stamp = (Vec<i64>, usize, Vec<i64>);
 
+/// Per-cell write index: `(array, cell)` → writes in execution order.
+type WritesByCell = HashMap<(String, Vec<i64>), Vec<(Stamp, usize)>>;
+
 /// Analyze all flow dependences of `prog`. Reads with no in-program
 /// producer (external inputs) are reported per statement in the second
 /// return value as `(statement, array, count)`.
-pub fn analyze_dependences(
-    prog: &AffineProgram,
-) -> (Vec<Dependence>, Vec<(usize, String, u64)>) {
+pub fn analyze_dependences(prog: &AffineProgram) -> (Vec<Dependence>, Vec<(usize, String, u64)>) {
     prog.validate().expect("program must validate");
 
     // index all writes per (array, cell), sorted by execution stamp
-    let mut writes: HashMap<(String, Vec<i64>), Vec<(Stamp, usize)>> = HashMap::new();
+    let mut writes: WritesByCell = HashMap::new();
     for (si, s) in prog.statements.iter().enumerate() {
         for point in s.domain.points() {
             let stamp: Stamp = (s.time(&point), si, point.clone());
@@ -77,9 +78,7 @@ pub fn analyze_dependences(
                 });
                 match producer {
                     Some(pi) => {
-                        *dep_tokens
-                            .entry((pi, si, r.array.clone()))
-                            .or_insert(0) += 1;
+                        *dep_tokens.entry((pi, si, r.array.clone())).or_insert(0) += 1;
                     }
                     None => {
                         *external.entry((si, r.array.clone())).or_insert(0) += 1;
@@ -100,10 +99,8 @@ pub fn analyze_dependences(
         .collect();
     deps.sort_by(|a, b| (a.from, a.to, &a.array).cmp(&(b.from, b.to, &b.array)));
 
-    let mut ext: Vec<(usize, String, u64)> = external
-        .into_iter()
-        .map(|((s, a), c)| (s, a, c))
-        .collect();
+    let mut ext: Vec<(usize, String, u64)> =
+        external.into_iter().map(|((s, a), c)| (s, a, c)).collect();
     ext.sort();
     (deps, ext)
 }
@@ -177,15 +174,14 @@ mod tests {
     fn last_write_wins_across_statements() {
         // S0 writes A[0..4]; S1 overwrites A[0..4]; S2 reads A: producer
         // must be S1, not S0.
-        let write =
-            |name: &str, t: i64| Statement {
-                name: name.into(),
-                domain: IntegerSet::rect(&[4]),
-                writes: vec![Access::new("A", vec![AffineExpr::var(1, 0)])],
-                reads: vec![],
-                schedule: vec![AffineExpr::constant(1, t), AffineExpr::var(1, 0)],
-                ops: 1,
-            };
+        let write = |name: &str, t: i64| Statement {
+            name: name.into(),
+            domain: IntegerSet::rect(&[4]),
+            writes: vec![Access::new("A", vec![AffineExpr::var(1, 0)])],
+            reads: vec![],
+            schedule: vec![AffineExpr::constant(1, t), AffineExpr::var(1, 0)],
+            ops: 1,
+        };
         let mut p = AffineProgram::new("overwrite");
         p.add_statement(write("first", 0));
         p.add_statement(write("second", 1));

@@ -166,7 +166,10 @@ mod tests {
             .channel_ids()
             .filter(|&c| net.channel(c).from == net.channel(c).to)
             .collect();
-        assert!(!self_chans.is_empty(), "matmul update has a self recurrence");
+        assert!(
+            !self_chans.is_empty(),
+            "matmul update has a self recurrence"
+        );
         for c in self_chans {
             assert!(net.channel(c).initial_tokens >= 1);
         }

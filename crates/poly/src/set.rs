@@ -58,8 +58,8 @@ impl IntegerSet {
         if point.len() != self.ndims() {
             return false;
         }
-        for i in 0..self.ndims() {
-            if point[i] < self.lo[i] || point[i] > self.hi[i] {
+        for (i, &p) in point.iter().enumerate() {
+            if p < self.lo[i] || p > self.hi[i] {
                 return false;
             }
         }
@@ -137,9 +137,7 @@ impl Iterator for PointIter<'_> {
                 i -= 1;
                 if cur[i] < self.set.hi[i] {
                     cur[i] += 1;
-                    for j in (i + 1)..cur.len() {
-                        cur[j] = self.set.lo[j];
-                    }
+                    cur[(i + 1)..].copy_from_slice(&self.set.lo[(i + 1)..]);
                     break;
                 }
             }
@@ -177,10 +175,7 @@ mod tests {
     fn points_are_lexicographic_and_exact() {
         let s = IntegerSet::rect(&[2, 2]);
         let pts: Vec<_> = s.points().collect();
-        assert_eq!(
-            pts,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(pts, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
     }
 
     #[test]
@@ -189,8 +184,8 @@ mod tests {
         assert!(e.is_empty());
         assert_eq!(e.box_volume(), 0);
         // x ≥ 0 ∧ -x - 1 ≥ 0 is unsatisfiable
-        let inf = IntegerSet::rect(&[5])
-            .with_constraint(AffineExpr::var(1, 0).scale(-1).offset(-1));
+        let inf =
+            IntegerSet::rect(&[5]).with_constraint(AffineExpr::var(1, 0).scale(-1).offset(-1));
         assert!(inf.is_empty());
         assert_eq!(inf.cardinality(), 0);
     }
@@ -216,14 +211,10 @@ mod tests {
         // diagonal band: |i - j| ≤ 1 over 6×6
         let band = IntegerSet::rect(&[6, 6])
             .with_constraint(
-                AffineExpr::var(2, 0)
-                    .sub(&AffineExpr::var(2, 1))
-                    .offset(1), // i - j + 1 ≥ 0
+                AffineExpr::var(2, 0).sub(&AffineExpr::var(2, 1)).offset(1), // i - j + 1 ≥ 0
             )
             .with_constraint(
-                AffineExpr::var(2, 1)
-                    .sub(&AffineExpr::var(2, 0))
-                    .offset(1), // j - i + 1 ≥ 0
+                AffineExpr::var(2, 1).sub(&AffineExpr::var(2, 0)).offset(1), // j - i + 1 ≥ 0
             );
         let mut brute = 0;
         for i in 0..6i64 {
@@ -238,9 +229,8 @@ mod tests {
 
     #[test]
     fn box_volume_upper_bounds_cardinality() {
-        let tri = IntegerSet::rect(&[8, 8]).with_constraint(
-            AffineExpr::var(2, 0).sub(&AffineExpr::var(2, 1)),
-        );
+        let tri = IntegerSet::rect(&[8, 8])
+            .with_constraint(AffineExpr::var(2, 0).sub(&AffineExpr::var(2, 1)));
         assert!(tri.cardinality() <= tri.box_volume());
         assert_eq!(tri.box_volume(), 64);
     }

@@ -48,7 +48,9 @@ pub fn largest_component(g: &WeightedGraph) -> Vec<NodeId> {
     for &c in &comp {
         sizes[c as usize] += 1;
     }
-    let best = (0..count).max_by_key(|&c| (sizes[c], std::cmp::Reverse(c))).unwrap();
+    let best = (0..count)
+        .max_by_key(|&c| (sizes[c], std::cmp::Reverse(c)))
+        .unwrap();
     comp.iter()
         .enumerate()
         .filter(|&(_, &c)| c as usize == best)

@@ -148,7 +148,12 @@ impl WeightedGraph {
     /// summing weights (the semantics used when multiple FIFO channels
     /// connect the same process pair, and when contraction creates
     /// parallel edges).
-    pub fn add_or_merge_edge(&mut self, u: NodeId, v: NodeId, w: u64) -> Result<EdgeId, GraphError> {
+    pub fn add_or_merge_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        w: u64,
+    ) -> Result<EdgeId, GraphError> {
         self.check_endpoints(u, v, w)?;
         if let Some(e) = self.find_edge(u, v) {
             self.edges[e.index()].2 += w;
@@ -371,10 +376,7 @@ mod tests {
     fn unknown_endpoint_rejected() {
         let mut g = WeightedGraph::new();
         let a = g.add_node(1);
-        assert_eq!(
-            g.add_edge(a, NodeId(9), 1),
-            Err(GraphError::InvalidNode(9))
-        );
+        assert_eq!(g.add_edge(a, NodeId(9), 1), Err(GraphError::InvalidNode(9)));
     }
 
     #[test]

@@ -12,8 +12,7 @@ pub fn graph_to_json(g: &WeightedGraph) -> String {
 
 /// Parse and validate a graph from JSON.
 pub fn graph_from_json(text: &str) -> Result<WeightedGraph, GraphError> {
-    let g: WeightedGraph =
-        serde_json::from_str(text).map_err(|e| GraphError::Io(e.to_string()))?;
+    let g: WeightedGraph = serde_json::from_str(text).map_err(|e| GraphError::Io(e.to_string()))?;
     g.validate()?;
     Ok(g)
 }

@@ -183,10 +183,7 @@ mod tests {
     #[test]
     fn rejects_missing_weights() {
         let text = "0 1\n1 0\n";
-        assert!(parse(text)
-            .unwrap_err()
-            .to_string()
-            .contains("weights"));
+        assert!(parse(text).unwrap_err().to_string().contains("weights"));
     }
 
     #[test]

@@ -217,7 +217,10 @@ mod tests {
         let g = path(31);
         let a = random_maximal_matching(&g, 1);
         let b = random_maximal_matching(&g, 2);
-        assert_ne!(a, b, "two seeds producing identical matchings on a 31-path is astronomically unlikely");
+        assert_ne!(
+            a, b,
+            "two seeds producing identical matchings on a 31-path is astronomically unlikely"
+        );
     }
 
     #[test]

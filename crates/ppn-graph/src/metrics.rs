@@ -85,14 +85,7 @@ impl CutMatrix {
     /// (i.e. while `p.part_of(n) == from` still holds for neighbours'
     /// bookkeeping — only the partition entries of *other* nodes are
     /// read).
-    pub fn apply_move(
-        &mut self,
-        g: &WeightedGraph,
-        p: &Partition,
-        n: NodeId,
-        from: u32,
-        to: u32,
-    ) {
+    pub fn apply_move(&mut self, g: &WeightedGraph, p: &Partition, n: NodeId, from: u32, to: u32) {
         if from == to {
             return;
         }

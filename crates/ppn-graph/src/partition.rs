@@ -190,13 +190,7 @@ impl Partition {
             }
             assign.push(remap[p as usize]);
         }
-        (
-            Partition {
-                k: self.k,
-                assign,
-            },
-            next as usize,
-        )
+        (Partition { k: self.k, assign }, next as usize)
     }
 }
 

@@ -105,7 +105,10 @@ mod tests {
                 volume_divisor: 100,
             },
         );
-        assert_eq!(g2.edge_weight(g2.find_edge(NodeId(0), NodeId(1)).unwrap()), 1);
+        assert_eq!(
+            g2.edge_weight(g2.find_edge(NodeId(0), NodeId(1)).unwrap()),
+            1
+        );
     }
 
     #[test]

@@ -98,7 +98,13 @@ impl ProcessNetwork {
 
     /// Add a channel, returning its id. Panics on unknown endpoints or
     /// zero capacity.
-    pub fn add_channel(&mut self, from: ProcessId, to: ProcessId, volume: u64, capacity: u64) -> ChannelId {
+    pub fn add_channel(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        volume: u64,
+        capacity: u64,
+    ) -> ChannelId {
         self.add_channel_with_initial(from, to, volume, capacity, 0)
     }
 

@@ -33,10 +33,7 @@ impl ResourceVector {
 
     /// A LUT-only vector (the paper's single-resource view).
     pub fn luts(luts: u64) -> Self {
-        ResourceVector {
-            luts,
-            ..Self::ZERO
-        }
+        ResourceVector { luts, ..Self::ZERO }
     }
 
     /// Full constructor.
@@ -51,7 +48,10 @@ impl ResourceVector {
 
     /// Component-wise `self ≤ cap`.
     pub fn fits_in(&self, cap: &ResourceVector) -> bool {
-        self.luts <= cap.luts && self.ffs <= cap.ffs && self.brams <= cap.brams && self.dsps <= cap.dsps
+        self.luts <= cap.luts
+            && self.ffs <= cap.ffs
+            && self.brams <= cap.brams
+            && self.dsps <= cap.dsps
     }
 
     /// The paper's scalarisation: the LUT count (≥ 1 so that graph node
@@ -126,12 +126,9 @@ mod tests {
 
     #[test]
     fn sum_aggregates() {
-        let total: ResourceVector = [
-            ResourceVector::luts(5),
-            ResourceVector::new(1, 2, 3, 4),
-        ]
-        .into_iter()
-        .sum();
+        let total: ResourceVector = [ResourceVector::luts(5), ResourceVector::new(1, 2, 3, 4)]
+            .into_iter()
+            .sum();
         assert_eq!(total, ResourceVector::new(6, 2, 3, 4));
     }
 }

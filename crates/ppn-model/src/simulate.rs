@@ -82,7 +82,8 @@ fn quota(volume: u64, firings: u64, idx: u64) -> u64 {
 
 /// Simulate `net` until completion, deadlock, or `opts.max_cycles`.
 pub fn simulate(net: &ProcessNetwork, opts: &SimOptions) -> SimReport {
-    net.validate().expect("network must validate before simulation");
+    net.validate()
+        .expect("network must validate before simulation");
     let np = net.num_processes();
     let nc = net.num_channels();
 
@@ -112,7 +113,10 @@ pub fn simulate(net: &ProcessNetwork, opts: &SimOptions) -> SimReport {
         .collect();
 
     let mut tokens: Vec<u64> = (0..nc)
-        .map(|c| net.channel(crate::network::ChannelId(c as u32)).initial_tokens)
+        .map(|c| {
+            net.channel(crate::network::ChannelId(c as u32))
+                .initial_tokens
+        })
         .collect();
     let mut reserved: Vec<u64> = vec![0; nc];
     let mut produced: Vec<u64> = vec![0; nc];
@@ -346,12 +350,7 @@ mod tests {
     #[test]
     fn max_cycles_bounds_runtime() {
         let net = pipeline(2, 1_000_000, 1, 2);
-        let r = simulate(
-            &net,
-            &SimOptions {
-                max_cycles: 100,
-            },
-        );
+        let r = simulate(&net, &SimOptions { max_cycles: 100 });
         assert!(!r.completed);
         assert!(!r.deadlocked);
         assert!(r.cycles <= 101);

@@ -27,7 +27,8 @@ fn main() {
         g.add_edge(nodes[b], nodes[b + 2], 9).unwrap();
     }
     for c in 0..4 {
-        g.add_edge(nodes[c * 3 + 2], nodes[((c + 1) % 4) * 3], 3).unwrap();
+        g.add_edge(nodes[c * 3 + 2], nodes[((c + 1) % 4) * 3], 3)
+            .unwrap();
     }
 
     // Platform limits: each FPGA offers 133 LUTs (clusters {p3,p4,p5}
@@ -60,8 +61,7 @@ fn main() {
 
     // The unconstrained baseline minimises the cut but ignores both
     // limits — exactly the behaviour gap the paper addresses.
-    let baseline =
-        ppn_partition::metis_lite::kway_partition(&g, 4, &Default::default());
+    let baseline = ppn_partition::metis_lite::kway_partition(&g, 4, &Default::default());
     let q = PartitionQuality::measure(&g, &baseline.partition);
     let rep = constraints.check_quality(&q);
     println!(

@@ -13,7 +13,11 @@ use ppn_partition::{Constraints, GpPartitioner};
 fn main() {
     // 1. the polyhedral front-end: Sobel on a 16×16 frame
     let program = kernels::sobel(16, 16);
-    println!("program: {} ({} statements)", program.name, program.statements.len());
+    println!(
+        "program: {} ({} statements)",
+        program.name,
+        program.statements.len()
+    );
 
     // 2. exact dataflow analysis → process network
     let net = derive_ppn(&program, &CostModel::default());

@@ -46,10 +46,7 @@ fn sobel_end_to_end() {
 
 #[test]
 fn fir_and_matmul_networks_partition_feasibly() {
-    for (name, program) in [
-        ("fir", kernels::fir(4, 24)),
-        ("matmul", kernels::matmul(4)),
-    ] {
+    for (name, program) in [("fir", kernels::fir(4, 24)), ("matmul", kernels::matmul(4))] {
         let net = derive_ppn(&program, &CostModel::default());
         let g = lower_to_graph(&net, &LoweringOptions::default());
         let k = 2;

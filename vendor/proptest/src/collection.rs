@@ -1,0 +1,24 @@
+//! `proptest::collection` shim: the `vec` strategy.
+
+use crate::{Strategy, TestRng};
+use std::ops::Range;
+
+/// Strategy producing a `Vec` whose length is drawn from `len` and whose
+/// elements come from `elem`.
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+/// `Vec` strategy over an element strategy and a length range.
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,56 @@
+//! Offline shim for the tiny slice of `rayon` this workspace uses.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors a sequential stand-in: `into_par_iter()` simply yields the
+//! ordinary sequential iterator. All call sites in this workspace reduce
+//! with a total order (`min_by_key` over a goodness key), so sequential
+//! and parallel execution are observationally identical — which is
+//! exactly the determinism contract `gp_core::initial` documents.
+
+pub mod prelude {
+    /// Sequential stand-in for rayon's `IntoParallelIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Returns the ordinary sequential iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {}
+
+    /// Sequential stand-in for rayon's `IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type.
+        type Iter: Iterator;
+        /// Returns the ordinary sequential iterator over references.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for T
+    where
+        &'data T: IntoIterator,
+    {
+        type Iter = <&'data T as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_is_sequential() {
+        let v: Vec<usize> = (0..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data = vec![3u64, 1, 2];
+        let m = data.par_iter().min().copied();
+        assert_eq!(m, Some(1));
+    }
+}

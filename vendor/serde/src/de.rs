@@ -1,0 +1,156 @@
+//! The `Deserialize` trait, the error type, and impls for std types.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Deserialisation error: a human-readable message.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can rebuild themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from the data model.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+fn type_error(expected: &str, got: &Value) -> Error {
+    Error(format!("expected {expected}, got {}", got.kind()))
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {
+        $(impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| type_error("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| Error(format!(
+                    "{} out of range for {}", n, stringify!($t)
+                )))
+            }
+        })*
+    };
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {
+        $(impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| type_error("integer", v))?;
+                <$t>::try_from(n).map_err(|_| Error(format!(
+                    "{} out of range for {}", n, stringify!($t)
+                )))
+            }
+        })*
+    };
+}
+
+impl_de_uint!(u8, u16, u32, u64, usize);
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| type_error("number", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| type_error("number", v))
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| type_error("bool", v))
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| type_error("string", v))
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(v).map(Some)
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| type_error("array", v))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($($len:literal => ($($name:ident . $idx:tt),+))*) => {
+        $(impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let a = v.as_array().ok_or_else(|| type_error("array", v))?;
+                if a.len() != $len {
+                    return Err(Error(format!(
+                        "expected array of length {}, got {}", $len, a.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&a[$idx])?,)+))
+            }
+        })*
+    };
+}
+
+impl_de_tuple! {
+    2 => (A.0, B.1)
+    3 => (A.0, B.1, C.2)
+    4 => (A.0, B.1, C.2, D.3)
+    5 => (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Look up and deserialise a required object field (derive-macro helper).
+pub fn de_field<T: Deserialize>(obj: &Value, key: &str) -> Result<T, Error> {
+    match obj.get(key) {
+        Some(v) => T::deserialize(v).map_err(|e| Error(format!("field `{key}`: {e}"))),
+        None => Err(Error(format!("missing field `{key}`"))),
+    }
+}
+
+/// Like [`de_field`], but a missing key falls back to `Default::default()`
+/// (the `#[serde(default)]` attribute).
+pub fn de_field_default<T: Deserialize + Default>(obj: &Value, key: &str) -> Result<T, Error> {
+    match obj.get(key) {
+        Some(v) => T::deserialize(v).map_err(|e| Error(format!("field `{key}`: {e}"))),
+        None => Ok(T::default()),
+    }
+}

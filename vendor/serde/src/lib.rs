@@ -1,0 +1,21 @@
+//! Offline shim for the slice of `serde` this workspace uses.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! small value-model serializer: `Serialize` lowers a type to a JSON-like
+//! [`Value`] tree and `Deserialize` rebuilds it. The derive macros (from
+//! the sibling `serde_derive` stub) generate impls for plain structs,
+//! tuple structs, and externally-tagged enums — the only shapes this
+//! workspace derives. The textual JSON layer lives in the `serde_json`
+//! stub, which prints and parses [`Value`].
+//!
+//! Supported attribute surface: `#[serde(default)]` on named fields.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod de;
+mod ser;
+mod value;
+
+pub use de::{de_field, de_field_default, Deserialize, Error};
+pub use ser::Serialize;
+pub use value::{Number, Value};

@@ -1,0 +1,408 @@
+//! Offline `#[derive(Serialize, Deserialize)]` shim.
+//!
+//! Parses the derive input by walking `proc_macro::TokenTree`s directly
+//! (no syn/quote — the build container cannot reach crates.io) and emits
+//! impls of the value-model `serde::Serialize` / `serde::Deserialize`
+//! traits from the sibling `serde` stub.
+//!
+//! Supported shapes — exactly what this workspace derives:
+//!
+//! * structs with named fields (`#[serde(default)]` honoured per field);
+//! * tuple structs (newtypes serialise transparently, wider tuples as
+//!   arrays);
+//! * enums with unit variants, struct variants, and single-field tuple
+//!   variants, in serde's externally-tagged representation.
+//!
+//! Generics are not supported; unsupported input expands to
+//! `compile_error!` so failures are loud and local.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Variant {
+    Unit(String),
+    Struct(String, Vec<Field>),
+    Newtype(String),
+}
+
+enum Input {
+    NamedStruct(String, Vec<Field>),
+    TupleStruct(String, usize),
+    Enum(String, Vec<Variant>),
+}
+
+/// True for a `#` punct starting an attribute.
+fn is_pound(t: &TokenTree) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == '#')
+}
+
+/// Does this attribute group contain `serde(... default ...)`?
+fn attr_is_serde_default(g: &proc_macro::Group) -> bool {
+    let mut it = g.stream().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(inner)))
+            if name.to_string() == "serde" =>
+        {
+            inner
+                .stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Skip attributes at the cursor; returns whether `#[serde(default)]` was
+/// among them.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut has_default = false;
+    while *pos < tokens.len() && is_pound(&tokens[*pos]) {
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+            if attr_is_serde_default(g) {
+                has_default = true;
+            }
+            *pos += 2;
+        } else {
+            break;
+        }
+    }
+    has_default
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)` at the cursor.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Skip a type (everything up to a top-level `,`), tracking `<`/`>` depth
+/// so commas inside generics don't terminate early. Parenthesised tuples
+/// arrive as atomic groups, so only angle brackets need counting.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(t) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                ',' if angle == 0 => return,
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Parse the fields of a named-field body `{ a: T, b: U }`.
+fn parse_named_fields(body: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let default = skip_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token `{other}` in field list")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_type(&tokens, &mut pos);
+        pos += 1; // consume the `,` (or step past the end)
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+/// Count the top-level comma-separated fields of a tuple body `(T, U)`.
+fn tuple_arity(body: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle: i32 = 0;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                ',' if angle == 0 => {
+                    arity += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+fn parse_variants(body: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token `{other}` in enum body")),
+        };
+        pos += 1;
+        let variant = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g)?;
+                pos += 1;
+                Variant::Struct(name, fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if tuple_arity(g) != 1 {
+                    return Err(format!(
+                        "tuple variant `{name}` with more than one field is not supported"
+                    ));
+                }
+                pos += 1;
+                Variant::Newtype(name)
+            }
+            _ => Variant::Unit(name),
+        };
+        // consume trailing `,`
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected a type name".into()),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "generic type `{name}` is not supported by the serde shim"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Input::NamedStruct(name, parse_named_fields(g)?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Input::TupleStruct(name, tuple_arity(g)))
+            }
+            _ => Err(format!("unit struct `{name}` is not supported")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Input::Enum(name, parse_variants(g)?))
+            }
+            _ => Err(format!("expected a body for enum `{name}`")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return error(&e),
+    };
+    let body = match &parsed {
+        Input::NamedStruct(_, fields) => {
+            let mut s = String::from(
+                "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__obj.push(({:?}.to_string(), ::serde::Serialize::to_value(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__obj)");
+            s
+        }
+        Input::TupleStruct(_, 1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Input::TupleStruct(_, arity) => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Input::Enum(name, variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+                    )),
+                    Variant::Newtype(vn) => arms.push_str(&format!(
+                        "{name}::{vn}(__x) => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Serialize::to_value(__x))]),\n"
+                    )),
+                    Variant::Struct(vn, fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from(
+                            "let mut __inner: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__inner.push(({:?}.to_string(), ::serde::Serialize::to_value({})));\n",
+                                f.name, f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ {inner} ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Object(__inner))]) }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let name = match &parsed {
+        Input::NamedStruct(n, _) | Input::TupleStruct(n, _) | Input::Enum(n, _) => n,
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+        }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return error(&e),
+    };
+    let body = match &parsed {
+        Input::NamedStruct(name, fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let helper = if f.default {
+                    "de_field_default"
+                } else {
+                    "de_field"
+                };
+                inits.push_str(&format!(
+                    "{}: ::serde::{helper}(__v, {:?})?,\n",
+                    f.name, f.name
+                ));
+            }
+            format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+        }
+        Input::TupleStruct(name, 1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Input::TupleStruct(name, arity) => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array\"))?;\n\
+                 if __a.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple length\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Input::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => unit_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Variant::Newtype(vn) => tagged_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(__inner)?)),\n"
+                    )),
+                    Variant::Struct(vn, fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let helper =
+                                if f.default { "de_field_default" } else { "de_field" };
+                            inits.push_str(&format!(
+                                "{}: ::serde::{helper}(__inner, {:?})?,\n",
+                                f.name, f.name
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                             format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__o[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                         format!(\"expected {name} variant, got {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match &parsed {
+        Input::NamedStruct(n, _) | Input::TupleStruct(n, _) | Input::Enum(n, _) => n,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+        }}"
+    )
+    .parse()
+    .unwrap()
+}

@@ -1,0 +1,191 @@
+//! Offline shim for the slice of `serde_json` this workspace uses:
+//! `to_string`, `to_string_pretty`, `from_str`, `to_value`, and the
+//! [`json!`] macro, all over the vendored `serde` value model.
+
+mod parse;
+mod print;
+
+pub use serde::{Error, Number, Value};
+
+/// Lower any serialisable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serialise to a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&value.to_value()))
+}
+
+/// Serialise to a pretty-printed (2-space indented) JSON string.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&value.to_value()))
+}
+
+/// Parse a JSON string and rebuild `T` from it.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let v = parse::parse(text)?;
+    T::deserialize(&v)
+}
+
+/// Build a [`Value`] from JSON-shaped syntax with expression
+/// interpolation, e.g. `json!({"k": 4, "rows": [a, b.method()]})`.
+///
+/// Keys must be string literals (the only form this workspace uses).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => {
+        $crate::Value::Array($crate::json_internal_array!(@acc [] $($tt)*))
+    };
+    ({ $($tt:tt)* }) => {
+        $crate::Value::Object($crate::json_internal_object!(@acc [] $($tt)*))
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+/// Implementation detail of [`json!`]: munch `"key": value` pairs into a
+/// `vec![(key, value), ...]` accumulator.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_object {
+    (@acc [$($entries:expr,)*]) => {
+        vec![$($entries,)*]
+    };
+    (@acc [$($entries:expr,)*] $key:literal : null $(, $($rest:tt)*)?) => {
+        $crate::json_internal_object!(
+            @acc [$($entries,)* ($key.to_string(), $crate::Value::Null),] $($($rest)*)?)
+    };
+    (@acc [$($entries:expr,)*] $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal_object!(
+            @acc [$($entries,)* ($key.to_string(), $crate::json!({ $($inner)* })),] $($($rest)*)?)
+    };
+    (@acc [$($entries:expr,)*] $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal_object!(
+            @acc [$($entries,)* ($key.to_string(), $crate::json!([ $($inner)* ])),] $($($rest)*)?)
+    };
+    (@acc [$($entries:expr,)*] $key:literal : $value:expr , $($rest:tt)*) => {
+        $crate::json_internal_object!(
+            @acc [$($entries,)* ($key.to_string(), $crate::json!($value)),] $($rest)*)
+    };
+    (@acc [$($entries:expr,)*] $key:literal : $value:expr) => {
+        $crate::json_internal_object!(
+            @acc [$($entries,)* ($key.to_string(), $crate::json!($value)),])
+    };
+}
+
+/// Implementation detail of [`json!`]: munch array elements into a
+/// `vec![...]` accumulator.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_array {
+    (@acc [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    (@acc [$($elems:expr,)*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!(@acc [$($elems,)* $crate::Value::Null,] $($($rest)*)?)
+    };
+    (@acc [$($elems:expr,)*] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!(
+            @acc [$($elems,)* $crate::json!({ $($inner)* }),] $($($rest)*)?)
+    };
+    (@acc [$($elems:expr,)*] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!(
+            @acc [$($elems,)* $crate::json!([ $($inner)* ]),] $($($rest)*)?)
+    };
+    (@acc [$($elems:expr,)*] $value:expr , $($rest:tt)*) => {
+        $crate::json_internal_array!(@acc [$($elems,)* $crate::json!($value),] $($rest)*)
+    };
+    (@acc [$($elems:expr,)*] $value:expr) => {
+        $crate::json_internal_array!(@acc [$($elems,)* $crate::json!($value),])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn u64_max_roundtrip() {
+        let s = to_string(&u64::MAX).unwrap();
+        assert_eq!(from_str::<u64>(&s).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line\n\"quoted\"\t\\slash\u{1F600}ünïcode".to_string();
+        let s = to_string(&original).unwrap();
+        assert_eq!(from_str::<String>(&s).unwrap(), original);
+    }
+
+    #[test]
+    fn vec_and_tuple_roundtrip() {
+        let v: Vec<(u32, u32, u64)> = vec![(1, 2, 3), (4, 5, 6)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<(u32, u32, u64)>>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v: Vec<Option<String>> = vec![Some("a".into()), None];
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains('\n'));
+        assert_eq!(from_str::<Vec<Option<String>>>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let k = 4u64;
+        let v = json!({
+            "experiment": 1,
+            "k": k,
+            "nested": { "xs": [1, 2, 3], "ok": true, "none": null },
+        });
+        assert_eq!(v.get("k").and_then(Value::as_u64), Some(4));
+        let nested = v.get("nested").unwrap();
+        assert_eq!(
+            nested
+                .get("xs")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(3)
+        );
+        assert_eq!(nested.get("ok").and_then(Value::as_bool), Some(true));
+        assert!(nested.get("none").unwrap().is_null());
+        // and the whole artifact prints + parses
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str::<Value>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let s = to_string(&1.5f64).unwrap();
+        assert_eq!(s, "1.5");
+        assert_eq!(from_str::<f64>(&s).unwrap(), 1.5);
+        let tiny = 0.056_f64;
+        let back: f64 = from_str(&to_string(&tiny).unwrap()).unwrap();
+        assert_eq!(back, tiny);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+        assert!(from_str::<u64>("\"no\"").is_err());
+    }
+}
