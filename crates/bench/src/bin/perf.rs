@@ -1,0 +1,259 @@
+//! Per-PR GP performance harness.
+//!
+//! Usage: `cargo run --release -p ppn-bench --bin perf [--smoke]`
+//!
+//! Runs the scaling workload family (planted-community graphs, the same
+//! family as the `scaling` criterion bench), times every GP phase
+//! separately — coarsening, initial partitioning, refinement up the
+//! hierarchy, end-to-end — and times the refinement rewrite against the
+//! preserved pre-optimisation reference implementation
+//! (`gp_core::constrained_refine_reference`) on an identical scrambled
+//! start. Results are written to `BENCH_gp.json` at the repo root so
+//! every PR carries a measured perf trajectory; `--smoke` shrinks the
+//! sizes for CI.
+
+use gp_core::refine::RefineOptions;
+use gp_core::{
+    constrained_refine, constrained_refine_reference, gp_coarsen, gp_partition,
+    greedy_initial_partition, GpParams, InitialOptions,
+};
+use ppn_gen::dense_community_graph;
+use ppn_graph::metrics::PartitionQuality;
+use ppn_graph::prng::derive_seed;
+use ppn_graph::{Constraints, Partition, WeightedGraph};
+use std::time::Instant;
+
+/// Best-of-`reps` wall-clock seconds for `f` (min filters scheduler
+/// noise; the work itself is deterministic).
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.unwrap())
+}
+
+struct Workload {
+    name: String,
+    g: WeightedGraph,
+    k: usize,
+    cons: Constraints,
+}
+
+/// The scaling family grows along all three axes the north star cares
+/// about: node count (the multilevel claim: "graphs with potentially
+/// thousands nodes"), part count (the K-ways claim; K×K bookkeeping is
+/// where O(k²) rescans hurt), and density (real process networks have
+/// hub processes fanning out widely). Node weights vary, so the
+/// resource constraint does real work.
+fn scaling_workloads(smoke: bool) -> Vec<Workload> {
+    // (communities = k, nodes per community, chords per node)
+    let shapes: &[(usize, usize, usize)] = if smoke {
+        &[(4, 4, 2), (4, 16, 2)]
+    } else {
+        &[(4, 64, 4), (8, 256, 4), (8, 1024, 6), (16, 2048, 8)]
+    };
+    shapes
+        .iter()
+        .map(|&(communities, n_per, chords)| {
+            let g = dense_community_graph(communities, n_per, (2, 9), 12, 2, chords, 99);
+            let k = communities;
+            let rmax = (g.total_node_weight() as f64 / k as f64 * 1.25).ceil() as u64;
+            let cons = Constraints::new(rmax, g.total_edge_weight() / k as u64);
+            Workload {
+                name: format!("scaling-{}x{}", communities * n_per, k),
+                g,
+                k,
+                cons,
+            }
+        })
+        .collect()
+}
+
+fn measure(w: &Workload, reps: usize) -> (serde_json::Value, f64) {
+    let params = GpParams::default();
+    let seed = derive_seed(params.seed, 0xC1C);
+
+    // -- phase timings ------------------------------------------------
+    let (coarsen_s, hier) = time_best(reps, || {
+        gp_coarsen(&w.g, &params.matchings, params.coarsen_to, seed)
+    });
+    let (initial_s, p0) = time_best(reps, || {
+        greedy_initial_partition(
+            hier.coarsest(),
+            w.k,
+            &w.cons,
+            &InitialOptions {
+                restarts: params.initial_restarts,
+                repair_passes: params.refine_passes,
+                seed,
+                parallel: params.parallel,
+            },
+        )
+    });
+    let (refine_up_s, p_top) = time_best(reps, || {
+        let mut p = p0.clone();
+        for (i, level) in hier.levels.iter().enumerate().rev() {
+            p = p.project(&level.map.map);
+            constrained_refine(
+                &level.fine,
+                &mut p,
+                &w.cons,
+                &RefineOptions {
+                    max_passes: params.refine_passes,
+                    seed: derive_seed(seed, i as u64),
+                    protect_nonempty: true,
+                },
+            );
+        }
+        p
+    });
+    let (end_to_end_s, feasible) =
+        time_best(reps, || match gp_partition(&w.g, w.k, &w.cons, &params) {
+            Ok(r) => r.feasible,
+            Err(e) => e.best.feasible,
+        });
+
+    // -- refinement before/after ------------------------------------
+    //
+    // Primary comparison: a scrambled start — the stress the criterion
+    // `refinement` bench has always used, and the regime where the
+    // refinement phase does real work (initial-partition repair and the
+    // first sweeps of every cycle). Secondary: the partition the
+    // uncoarsening phase hands to top-level refinement (projected
+    // through the last level without refining there) — the
+    // mostly-converged tail where boundary restriction saves the full
+    // sweeps.
+    let n = w.g.num_nodes();
+    let opts = RefineOptions {
+        max_passes: params.refine_passes,
+        seed: derive_seed(seed, 0x70),
+        protect_nonempty: true,
+    };
+    let scrambled: Vec<u32> = (0..n).map(|i| ((i * 31 + 7) % w.k) as u32).collect();
+    let scrambled = Partition::from_assignment(scrambled, w.k).unwrap();
+
+    let (reference_s, (ref_moves, ref_q)) = time_best(reps, || {
+        let mut p = scrambled.clone();
+        let m = constrained_refine_reference(&w.g, &mut p, &w.cons, &opts);
+        (
+            m,
+            PartitionQuality::measure(&w.g, &p).goodness_key(w.cons.rmax, w.cons.bmax),
+        )
+    });
+    let (optimized_s, (opt_moves, opt_q)) = time_best(reps, || {
+        let mut p = scrambled.clone();
+        let m = constrained_refine(&w.g, &mut p, &w.cons, &opts);
+        (
+            m,
+            PartitionQuality::measure(&w.g, &p).goodness_key(w.cons.rmax, w.cons.bmax),
+        )
+    });
+    let speedup = reference_s / optimized_s.max(1e-9);
+
+    let projected_start = (!hier.levels.is_empty()).then(|| {
+        let mut p = p0.clone();
+        for (i, level) in hier.levels.iter().enumerate().rev() {
+            p = p.project(&level.map.map);
+            if i > 0 {
+                constrained_refine(
+                    &level.fine,
+                    &mut p,
+                    &w.cons,
+                    &RefineOptions {
+                        max_passes: params.refine_passes,
+                        seed: derive_seed(seed, i as u64),
+                        protect_nonempty: true,
+                    },
+                );
+            }
+        }
+        p
+    });
+    let (projected_ref_s, projected_opt_s) = match &projected_start {
+        Some(start) => {
+            let (r, _) = time_best(reps, || {
+                let mut p = start.clone();
+                constrained_refine_reference(&w.g, &mut p, &w.cons, &opts)
+            });
+            let (o, _) = time_best(reps, || {
+                let mut p = start.clone();
+                constrained_refine(&w.g, &mut p, &w.cons, &opts)
+            });
+            (r, o)
+        }
+        None => (0.0, 0.0),
+    };
+
+    println!(
+        "{:<16} n={:<6} coarsen {:>8.4}s  initial {:>8.4}s  refine-up {:>8.4}s  e2e {:>8.4}s",
+        w.name, n, coarsen_s, initial_s, refine_up_s, end_to_end_s
+    );
+    println!(
+        "{:<16} refinement: reference {:>8.5}s  optimized {:>8.5}s  speedup {:>6.2}x  (moves {} vs {})",
+        "", reference_s, optimized_s, speedup, ref_moves, opt_moves
+    );
+
+    let doc = serde_json::json!({
+        "name": w.name,
+        "nodes": n,
+        "edges": w.g.num_edges(),
+        "k": w.k,
+        "rmax": w.cons.rmax,
+        "bmax": w.cons.bmax,
+        "feasible": feasible,
+        "top_level_parts": p_top.k(),
+        "phases_s": {
+            "coarsen": coarsen_s,
+            "initial": initial_s,
+            "refine_up": refine_up_s,
+            "end_to_end": end_to_end_s,
+        },
+        "refinement": {
+            "start": "scrambled",
+            "reference_s": reference_s,
+            "optimized_s": optimized_s,
+            "speedup": speedup,
+            "reference_moves": ref_moves,
+            "optimized_moves": opt_moves,
+            "reference_goodness": [ref_q.0, ref_q.1, ref_q.2],
+            "optimized_goodness": [opt_q.0, opt_q.1, opt_q.2],
+            "projected_reference_s": projected_ref_s,
+            "projected_optimized_s": projected_opt_s,
+        },
+    });
+    (doc, speedup)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reps = if smoke { 1 } else { 3 };
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+
+    let workloads = scaling_workloads(smoke);
+    let (measured, speedups): (Vec<serde_json::Value>, Vec<f64>) =
+        workloads.iter().map(|w| measure(w, reps)).unzip();
+
+    let largest_speedup = speedups.last().copied().unwrap_or(0.0);
+    println!(
+        "\nlargest workload refinement speedup: {largest_speedup:.2}x (reference vs boundary-driven)"
+    );
+
+    let doc = serde_json::json!({
+        "schema": 1,
+        "mode": if smoke { "smoke" } else { "full" },
+        "threads": threads,
+        "workloads": measured,
+    });
+    // the bench crate lives at crates/bench: the repo root is two up
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gp.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap())
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+}

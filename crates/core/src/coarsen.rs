@@ -21,6 +21,9 @@ use ppn_graph::matching::{random_maximal_matching, Matching};
 use ppn_graph::prng::derive_seed;
 use ppn_graph::WeightedGraph;
 
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
+
 /// Run one matching heuristic.
 pub fn run_matching(kind: MatchingKind, g: &WeightedGraph, seed: u64) -> Matching {
     match kind {
@@ -32,28 +35,46 @@ pub fn run_matching(kind: MatchingKind, g: &WeightedGraph, seed: u64) -> Matchin
 
 /// Pick the best matching among `kinds` for `g` (see module docs for the
 /// criterion). Returns the winning kind alongside the matching.
+///
+/// With the `parallel` feature the heuristics of the tournament run
+/// concurrently; the winner is selected with a total order (absorbed
+/// weight, pair count, earliest heuristic), so the result is identical
+/// sequentially or in parallel.
 pub fn best_matching(
     kinds: &[MatchingKind],
     g: &WeightedGraph,
     seed: u64,
 ) -> (MatchingKind, Matching) {
     assert!(!kinds.is_empty(), "need at least one matching heuristic");
-    let mut best: Option<(u64, usize, usize, MatchingKind, Matching)> = None;
-    for (i, &kind) in kinds.iter().enumerate() {
+    type Scored = (
+        (u64, usize, std::cmp::Reverse<usize>),
+        MatchingKind,
+        Matching,
+    );
+    let score = |(i, kind): (usize, MatchingKind)| -> Scored {
         let m = run_matching(kind, g, derive_seed(seed, i as u64));
         let absorbed = m.absorbed_weight(g);
         let pairs = m.num_pairs();
-        let better = match &best {
-            None => true,
-            Some((ba, bp, bi, _, _)) => {
-                (absorbed, pairs, std::cmp::Reverse(i)) > (*ba, *bp, std::cmp::Reverse(*bi))
-            }
-        };
-        if better {
-            best = Some((absorbed, pairs, i, kind, m));
+        ((absorbed, pairs, std::cmp::Reverse(i)), kind, m)
+    };
+    let indexed: Vec<(usize, MatchingKind)> = kinds.iter().copied().enumerate().collect();
+    let best = {
+        #[cfg(feature = "parallel")]
+        {
+            indexed
+                .into_par_iter()
+                .map(score)
+                .max_by_key(|(key, _, _)| *key)
         }
-    }
-    let (_, _, _, kind, m) = best.unwrap();
+        #[cfg(not(feature = "parallel"))]
+        {
+            indexed
+                .into_iter()
+                .map(score)
+                .max_by_key(|(key, _, _)| *key)
+        }
+    };
+    let (_, kind, m) = best.expect("at least one heuristic");
     (kind, m)
 }
 

@@ -45,6 +45,7 @@ pub mod initial;
 pub mod kmeans;
 pub mod params;
 pub mod refine;
+pub mod refine_reference;
 pub mod report;
 
 pub use coarsen::{best_matching, gp_coarsen, GpHierarchy, GpLevel};
@@ -53,6 +54,7 @@ pub use initial::{greedy_initial_partition, InitialOptions};
 pub use kmeans::kmeans_matching;
 pub use params::{GpParams, MatchingKind};
 pub use refine::{constrained_refine, ConstrainedState, MoveDelta, RefineOptions};
+pub use refine_reference::constrained_refine_reference;
 pub use report::{CycleTrace, GpInfeasible, GpResult};
 
 use ppn_graph::{Constraints, WeightedGraph};

@@ -8,13 +8,36 @@
 //! `(violation magnitude, total cut)`; moves that would create or worsen
 //! a violation are inadmissible.
 //!
-//! [`ConstrainedState`] keeps the K×K pairwise-traffic matrix and part
-//! weights incrementally up to date, so evaluating a candidate move costs
-//! O(degree) and applying it costs the same.
+//! ## Hot-path structure
+//!
+//! The sweep is *boundary-driven* in the style of modern multilevel
+//! partitioners (kKaHyPar): instead of visiting every node every pass,
+//! each pass visits only the current boundary nodes (maintained
+//! incrementally by [`ppn_graph::Boundary`]) plus the nodes of parts
+//! that violate `Rmax` — the only nodes that can have a strictly
+//! improving move. Inner loops run off a [`Csr`] snapshot; all
+//! bookkeeping is incremental:
+//!
+//! * [`ConstrainedState`] keeps the K×K traffic matrix, part weights,
+//!   the total cut, and (when built with
+//!   [`new_tracked`](ConstrainedState::new_tracked)) the violation
+//!   magnitude up to date in O(degree) per applied move — no O(k²)
+//!   rescans anywhere on the move path;
+//! * move evaluation reads the mover's dense part-connectivity row and
+//!   costs O(k), not O(degree);
+//! * the pairwise-exchange repair pass evaluates a swap exactly as the
+//!   composition of two single-move deltas on reusable k-length scratch
+//!   buffers — no state clones, no allocation.
+//!
+//! The original full-sweep implementation is preserved verbatim in
+//! [`crate::refine_reference`] as the perf baseline; both satisfy the
+//! same invariants (violations never increase; the cut never increases
+//! while feasible) and the same fixed points, validated by the property
+//! suite.
 
 use ppn_graph::metrics::CutMatrix;
 use ppn_graph::prng::{derive_seed, XorShift128Plus};
-use ppn_graph::{Constraints, NodeId, Partition, WeightedGraph};
+use ppn_graph::{Boundary, Constraints, Csr, NodeId, Partition, WeightedGraph};
 
 /// Incrementally-maintained constraint bookkeeping for a partition.
 #[derive(Clone, Debug)]
@@ -27,6 +50,11 @@ pub struct ConstrainedState {
     pub part_sizes: Vec<usize>,
     /// Current total cut.
     pub total_cut: u64,
+    /// `Rmax` the resource excess is tracked against (`u64::MAX` when
+    /// untracked; the excess is then trivially zero).
+    tracked_rmax: u64,
+    /// Incrementally-maintained `Σ (part_weight - rmax).max(0)`.
+    res_excess: u64,
 }
 
 /// Effect of a candidate move, measured lexicographically.
@@ -45,8 +73,70 @@ impl MoveDelta {
     }
 }
 
+/// Evaluate a move described by the mover's dense part-connectivity row
+/// (`row[q]` = summed edge weight from the mover into part `q`) and the
+/// row's non-zero bitmask, against the current traffic matrix and part
+/// weights. O(popcount(mask)) ≤ O(degree); allocation-free. For
+/// `k > 64` the mask is ignored and the row is scanned densely.
+#[allow(clippy::too_many_arguments)]
+fn eval_from_row(
+    cut: &CutMatrix,
+    part_weights: &[u64],
+    c: &Constraints,
+    row: &[u64],
+    mask: u64,
+    from: usize,
+    to: usize,
+    wv: u64,
+) -> MoveDelta {
+    if from == to {
+        return MoveDelta { dviol: 0, dcut: 0 };
+    }
+    let k = cut.k();
+    let bmax = c.bmax;
+    let eb = |x: u64| x.saturating_sub(bmax) as i64;
+    let mut dviol = 0i64;
+    let mut pair = |q: usize| {
+        let w = row[q];
+        if w == 0 {
+            return;
+        }
+        let cf = cut.get(from, q);
+        let ct = cut.get(to, q);
+        dviol += eb(cf - w) - eb(cf) + eb(ct.saturating_add(w)) - eb(ct);
+    };
+    if k <= 64 {
+        let mut m = mask & !(1u64 << from) & !(1u64 << to);
+        while m != 0 {
+            let q = m.trailing_zeros() as usize;
+            m &= m - 1;
+            pair(q);
+        }
+    } else {
+        for q in (0..k).filter(|&q| q != from && q != to) {
+            pair(q);
+        }
+    }
+    // the (from, to) pair gains the mover's old internal edges and loses
+    // its edges into the target part
+    let cft = cut.get(from, to);
+    let new_ft = (cft + row[from]) - row[to];
+    dviol += eb(new_ft) - eb(cft);
+    let dcut = row[from] as i64 - row[to] as i64;
+
+    // resource violation delta on the two parts
+    let rmax = c.rmax;
+    let er = |x: u64| x.saturating_sub(rmax) as i64;
+    let (wf, wt) = (part_weights[from], part_weights[to]);
+    dviol += er(wt.saturating_add(wv)) - er(wt) - (er(wf) - er(wf - wv));
+
+    MoveDelta { dviol, dcut }
+}
+
 impl ConstrainedState {
-    /// Build the state for a complete partition.
+    /// Build the state for a complete partition. Violation queries fall
+    /// back to a scan; prefer [`new_tracked`](ConstrainedState::new_tracked)
+    /// on hot paths.
     pub fn new(g: &WeightedGraph, p: &Partition) -> Self {
         let cut = CutMatrix::compute(g, p);
         let total_cut = cut.total_cut();
@@ -55,11 +145,33 @@ impl ConstrainedState {
             part_weights: p.part_weights(g),
             part_sizes: p.part_sizes(),
             total_cut,
+            tracked_rmax: u64::MAX,
+            res_excess: 0,
         }
     }
 
-    /// Current violation magnitude against `c`.
+    /// Build the state with violation magnitude tracked against `c`:
+    /// [`violation`](ConstrainedState::violation) becomes O(1) and is
+    /// maintained incrementally across [`apply_move`](ConstrainedState::apply_move).
+    pub fn new_tracked(g: &WeightedGraph, p: &Partition, c: &Constraints) -> Self {
+        let mut s = Self::new(g, p);
+        s.cut.track_bmax(c.bmax);
+        s.tracked_rmax = c.rmax;
+        s.res_excess = s
+            .part_weights
+            .iter()
+            .map(|&w| w.saturating_sub(c.rmax))
+            .sum();
+        s
+    }
+
+    /// Current violation magnitude against `c`. O(1) when the state was
+    /// built with [`new_tracked`](ConstrainedState::new_tracked) for the
+    /// same constraints, a scan otherwise.
     pub fn violation(&self, c: &Constraints) -> u64 {
+        if c.bmax == self.cut.tracked_bmax() && c.rmax == self.tracked_rmax {
+            return self.cut.tracked_excess() + self.res_excess;
+        }
         c.violation_magnitude(&self.cut, &self.part_weights)
     }
 
@@ -69,8 +181,13 @@ impl ConstrainedState {
     }
 
     /// Evaluate moving `v` from its current part to `to` without
-    /// mutating anything. `scratch` must be a zeroed `k`-length buffer
-    /// (used and re-zeroed internally).
+    /// mutating anything. `scratch` is a dense `k`-length buffer of
+    /// per-part connectivity weights; it is resized and zeroed
+    /// internally, so any reusable `Vec` will do. Cost: O(degree + k).
+    ///
+    /// Hot paths that already maintain a [`Boundary`] should evaluate
+    /// off its connectivity rows instead, which drops the O(degree)
+    /// row-building step.
     pub fn evaluate_move(
         &self,
         g: &WeightedGraph,
@@ -78,7 +195,7 @@ impl ConstrainedState {
         c: &Constraints,
         v: NodeId,
         to: u32,
-        scratch: &mut Vec<(usize, i64)>,
+        scratch: &mut Vec<u64>,
     ) -> MoveDelta {
         let from = p.part_of(v);
         debug_assert_ne!(from, Partition::UNASSIGNED);
@@ -86,75 +203,57 @@ impl ConstrainedState {
             return MoveDelta { dviol: 0, dcut: 0 };
         }
         let k = self.cut.k();
-        let (f, t) = (from as usize, to as usize);
-
-        // per-pair traffic deltas caused by the move
         scratch.clear();
-        let push = |scratch: &mut Vec<(usize, i64)>, a: usize, b: usize, d: i64| {
-            if a == b {
-                return;
-            }
-            let key = if a < b { a * k + b } else { b * k + a };
-            if let Some(e) = scratch.iter_mut().find(|(p, _)| *p == key) {
-                e.1 += d;
-            } else {
-                scratch.push((key, d));
-            }
-        };
-        let mut dcut = 0i64;
+        scratch.resize(k, 0);
+        let mut mask = 0u64;
         for &(u, e) in g.neighbors(v) {
             let q = p.part_of(u);
             if q == Partition::UNASSIGNED {
                 continue;
             }
-            let w = g.edge_weight(e) as i64;
-            let q = q as usize;
-            if q != f {
-                push(scratch, f, q, -w);
-                dcut -= w;
-            }
-            if q != t {
-                push(scratch, t, q, w);
-                dcut += w;
+            scratch[q as usize] += g.edge_weight(e);
+            if k <= 64 {
+                mask |= 1u64 << q;
             }
         }
-
-        // bandwidth violation delta over affected pairs
-        let bmax = c.bmax as i64;
-        let mut dviol = 0i64;
-        for &(key, d) in scratch.iter() {
-            let (a, b) = (key / k, key % k);
-            let cur = self.cut.get(a, b) as i64;
-            let before = (cur - bmax).max(0);
-            let after = (cur + d - bmax).max(0);
-            dviol += after - before;
-        }
-
-        // resource violation delta on the two parts
-        let wv = g.node_weight(v) as i64;
-        let rmax = c.rmax as i64;
-        let wf = self.part_weights[f] as i64;
-        let wt = self.part_weights[t] as i64;
-        dviol += ((wt + wv - rmax).max(0) - (wt - rmax).max(0))
-            - ((wf - rmax).max(0) - (wf - wv - rmax).max(0));
-
-        MoveDelta { dviol, dcut }
+        eval_from_row(
+            &self.cut,
+            &self.part_weights,
+            c,
+            scratch,
+            mask,
+            from as usize,
+            to as usize,
+            g.node_weight(v),
+        )
     }
 
-    /// Apply the move `v → to`, updating partition and bookkeeping.
+    /// Apply the move `v → to`, updating partition and bookkeeping. Cost
+    /// O(degree): the total cut is advanced by the move's cut delta and
+    /// the tracked violation magnitude by its violation delta — no
+    /// matrix rescans.
     pub fn apply_move(&mut self, g: &WeightedGraph, p: &mut Partition, v: NodeId, to: u32) {
         let from = p.part_of(v);
         if from == to {
             return;
         }
-        self.cut.apply_move(g, p, v, from, to);
-        let wv = g.node_weight(v);
-        self.part_weights[from as usize] -= wv;
-        self.part_weights[to as usize] += wv;
-        self.part_sizes[from as usize] -= 1;
-        self.part_sizes[to as usize] += 1;
+        let dcut = self.cut.apply_move(g, p, v, from, to);
+        self.apply_bookkeeping(from as usize, to as usize, g.node_weight(v), dcut);
         p.assign(v, to);
-        self.total_cut = self.cut.total_cut();
+    }
+
+    /// Shared non-matrix bookkeeping of a move: total cut, part weights
+    /// and sizes, tracked resource excess.
+    fn apply_bookkeeping(&mut self, from: usize, to: usize, wv: u64, dcut: i64) {
+        self.total_cut = (self.total_cut as i64 + dcut) as u64;
+        let r = self.tracked_rmax;
+        let (wf, wt) = (self.part_weights[from], self.part_weights[to]);
+        self.res_excess -= wf.saturating_sub(r) - (wf - wv).saturating_sub(r);
+        self.res_excess += (wt + wv).saturating_sub(r) - wt.saturating_sub(r);
+        self.part_weights[from] -= wv;
+        self.part_weights[to] += wv;
+        self.part_sizes[from] -= 1;
+        self.part_sizes[to] += 1;
     }
 }
 
@@ -179,12 +278,288 @@ impl Default for RefineOptions {
     }
 }
 
-/// Constrained refinement sweep: nodes are visited in random order; each
-/// node moves to the neighbouring part with the best strictly-improving
-/// `(Δviolation, Δcut)`. Returns the number of moves applied.
+/// The boundary-driven refinement engine: CSR snapshot, incremental
+/// constraint state, boundary set, and reusable scratch buffers. All
+/// per-move work is allocation-free.
+struct RefineEngine {
+    csr: Csr,
+    state: ConstrainedState,
+    boundary: Boundary,
+    /// k-length copy of the mover's connectivity row (the row mutates
+    /// while the move is applied).
+    row: Vec<u64>,
+    /// Edge weight from the current swap pivot to every node (sparse
+    /// fill/clear over its neighbourhood).
+    uvw: Vec<u64>,
+}
+
+impl RefineEngine {
+    fn new(g: &WeightedGraph, p: &Partition, c: &Constraints) -> Self {
+        let csr = Csr::from_graph(g);
+        let state = ConstrainedState::new_tracked(g, p, c);
+        let boundary = Boundary::new(&csr, p);
+        let k = p.k();
+        let n = csr.num_nodes();
+        RefineEngine {
+            csr,
+            state,
+            boundary,
+            row: vec![0; k],
+            uvw: vec![0; n],
+        }
+    }
+
+    /// Apply `v → to` across every incremental structure. O(degree + k).
+    fn apply(&mut self, p: &mut Partition, v: NodeId, to: u32) {
+        let from = p.part_of(v);
+        if from == to {
+            return;
+        }
+        self.row.copy_from_slice(self.boundary.conn(v));
+        let dcut = self.state.cut.apply_conn_row_move(&self.row, from, to);
+        self.state
+            .apply_bookkeeping(from as usize, to as usize, self.csr.vwgt[v.index()], dcut);
+        self.boundary.apply_move(&self.csr, p, v, from, to);
+        p.assign(v, to);
+    }
+
+    /// Nodes worth visiting this pass: the boundary, plus every node of
+    /// an `Rmax`-violating part (interior nodes of feasible parts cannot
+    /// have a strictly improving move).
+    fn collect_active(&self, p: &Partition, c: &Constraints, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend_from_slice(self.boundary.nodes());
+        if self.state.part_weights.iter().any(|&w| w > c.rmax) {
+            for v in p
+                .assignment()
+                .iter()
+                .enumerate()
+                .filter(|&(_, &q)| self.state.part_weights[q as usize] > c.rmax)
+                .map(|(i, _)| NodeId::from_index(i))
+            {
+                if !self.boundary.is_boundary(v) {
+                    out.push(v);
+                }
+            }
+        }
+    }
+
+    /// Find and apply the best strictly-improving move of `v`, if any.
+    fn try_best_move(
+        &mut self,
+        p: &mut Partition,
+        c: &Constraints,
+        v: NodeId,
+        protect_nonempty: bool,
+    ) -> bool {
+        let k = self.state.cut.k();
+        let from = p.part_of(v) as usize;
+        if protect_nonempty && self.state.part_sizes[from] == 1 {
+            return false;
+        }
+        // candidate targets: parts in the neighbourhood (cut can only
+        // improve toward those), plus — when the source part violates
+        // Rmax — the lightest part (pure resource escape).
+        let escape = if self.state.part_weights[from] > c.rmax {
+            (0..k as u32)
+                .filter(|&t| t as usize != from)
+                .min_by_key(|&t| self.state.part_weights[t as usize])
+        } else {
+            None
+        };
+        let row = self.boundary.conn(v);
+        let mask = self.boundary.conn_mask(v);
+        let wv = self.csr.vwgt[v.index()];
+        let mut best: Option<(MoveDelta, u32)> = None;
+        let mut consider = |t: u32, row: &[u64]| {
+            let d = eval_from_row(
+                &self.state.cut,
+                &self.state.part_weights,
+                c,
+                row,
+                mask,
+                from,
+                t as usize,
+                wv,
+            );
+            if !d.improves() {
+                return;
+            }
+            let better = match &best {
+                None => true,
+                Some((bd, bt)) => (d.dviol, d.dcut, t) < (bd.dviol, bd.dcut, *bt),
+            };
+            if better {
+                best = Some((d, t));
+            }
+        };
+        if k <= 64 {
+            let mut m = mask & !(1u64 << from);
+            if let Some(e) = escape {
+                m |= 1u64 << e;
+            }
+            while m != 0 {
+                let t = m.trailing_zeros();
+                m &= m - 1;
+                consider(t, row);
+            }
+        } else {
+            for t in 0..k as u32 {
+                if t as usize == from || (row[t as usize] == 0 && escape != Some(t)) {
+                    continue;
+                }
+                consider(t, row);
+            }
+        }
+        if let Some((_, t)) = best {
+            self.apply(p, v, t);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Exact `(Δviolation, Δcut)` of the pairwise exchange
+    /// `u: over → b`, then `v: b → over`, composed from the two
+    /// single-move deltas. Only parts either node connects to can see a
+    /// pair delta, and the delta on `(b, q)` is the exact negation of
+    /// the delta on `(over, q)`, so the whole evaluation is
+    /// O(popcount(mask_u | mask_v)) with no scratch. Requires `uvw` to
+    /// hold `u`'s neighbour weights.
+    fn eval_swap(
+        &self,
+        c: &Constraints,
+        u: NodeId,
+        over: usize,
+        v: NodeId,
+        b: usize,
+    ) -> (i64, i64) {
+        let k = self.state.cut.k();
+        let ru = self.boundary.conn(u);
+        let rv = self.boundary.conn(v);
+        let w_uv = self.uvw[v.index()] as i64;
+        // the (over, b) pair sees both moves plus the u-v edge twice
+        let d_ob = (ru[over] as i64 - ru[b] as i64) + (rv[b] as i64 - rv[over] as i64) + 2 * w_uv;
+        let dcut = d_ob; // third-part deltas cancel pairwise
+
+        let bmax = c.bmax;
+        let exc = |cur: u64, d: i64| -> i64 {
+            let newv = (cur as i64 + d) as u64;
+            newv.saturating_sub(bmax) as i64 - cur.saturating_sub(bmax) as i64
+        };
+        let cut = &self.state.cut;
+        let mut dviol = 0i64;
+        let mut third_party = |q: usize| {
+            // pair (over, q) changes by rv[q] - ru[q]; pair (b, q) by
+            // the exact opposite
+            let d = rv[q] as i64 - ru[q] as i64;
+            if d != 0 {
+                dviol += exc(cut.get(over, q), d) + exc(cut.get(b, q), -d);
+            }
+        };
+        if k <= 64 {
+            let mut m = (self.boundary.conn_mask(u) | self.boundary.conn_mask(v))
+                & !(1u64 << over)
+                & !(1u64 << b);
+            while m != 0 {
+                let q = m.trailing_zeros() as usize;
+                m &= m - 1;
+                third_party(q);
+            }
+        } else {
+            for q in (0..k).filter(|&q| q != over && q != b) {
+                third_party(q);
+            }
+        }
+        if d_ob != 0 {
+            dviol += exc(cut.get(over, b), d_ob);
+        }
+
+        let rmax = c.rmax;
+        let er = |x: u64| x.saturating_sub(rmax) as i64;
+        let (wu, wv_w) = (self.csr.vwgt[u.index()], self.csr.vwgt[v.index()]);
+        let (wa, wb) = (self.state.part_weights[over], self.state.part_weights[b]);
+        dviol += er(wa - wu + wv_w) - er(wa) + er(wb + wu - wv_w) - er(wb);
+
+        (dviol, dcut)
+    }
+
+    /// One round of violation-reducing pairwise exchanges between a
+    /// resource-violating part and every other part. A swap is accepted
+    /// only if it strictly reduces `(violation, cut)` lexicographically.
+    /// Returns the number of swaps applied.
+    fn swap_pass(&mut self, p: &mut Partition, c: &Constraints) -> usize {
+        let k = p.k();
+        let n = self.csr.num_nodes();
+        let mut swaps = 0;
+        while self.state.violation(c) > 0 {
+            let Some(over) = (0..k).find(|&a| self.state.part_weights[a] > c.rmax) else {
+                break;
+            };
+            // best = (dviol, dcut, u, v): total order, so scan order is
+            // irrelevant to the winner
+            let mut best: Option<(i64, i64, NodeId, NodeId)> = None;
+            for u in 0..n {
+                let u = NodeId::from_index(u);
+                if p.part_of(u) as usize != over {
+                    continue;
+                }
+                let wu = self.csr.vwgt[u.index()];
+                for i in self.csr.xadj[u.index()]..self.csr.xadj[u.index() + 1] {
+                    self.uvw[self.csr.adjncy[i] as usize] = self.csr.adjwgt[i];
+                }
+                for v in 0..n {
+                    let v = NodeId::from_index(v);
+                    let b = p.part_of(v) as usize;
+                    if b == over {
+                        continue;
+                    }
+                    let wv = self.csr.vwgt[v.index()];
+                    if wv >= wu {
+                        continue; // swap must lighten the violating part
+                    }
+                    // cheap resource prefilter before the exact check
+                    let wa = self.state.part_weights[over];
+                    let wb = self.state.part_weights[b];
+                    let res_before =
+                        (wa as i64 - c.rmax as i64).max(0) + (wb as i64 - c.rmax as i64).max(0);
+                    let res_after = ((wa - wu + wv) as i64 - c.rmax as i64).max(0)
+                        + ((wb - wv + wu) as i64 - c.rmax as i64).max(0);
+                    if res_after >= res_before {
+                        continue;
+                    }
+                    let (dviol, dcut) = self.eval_swap(c, u, over, v, b);
+                    if dviol < 0 || (dviol == 0 && dcut < 0) {
+                        let key = (dviol, dcut, u, v);
+                        if best.map(|bk| key < bk).unwrap_or(true) {
+                            best = Some(key);
+                        }
+                    }
+                }
+                for i in self.csr.xadj[u.index()]..self.csr.xadj[u.index() + 1] {
+                    self.uvw[self.csr.adjncy[i] as usize] = 0;
+                }
+            }
+            let Some((_, _, u, v)) = best else { break };
+            let b = p.part_of(v);
+            self.apply(p, u, b);
+            self.apply(p, v, over as u32);
+            swaps += 1;
+        }
+        swaps
+    }
+}
+
+/// Constrained refinement sweep: each pass visits the boundary nodes
+/// and `Rmax`-violators in random order; each visited node moves to the
+/// part with the best strictly-improving `(Δviolation, Δcut)`. Returns
+/// the number of moves applied.
 ///
 /// The cut never increases while violations are zero; violations never
-/// increase, period.
+/// increase, period. The fixed points coincide with the full-sweep
+/// reference implementation ([`crate::refine_reference`]): a node with
+/// no neighbour in another part and a feasible home part can never have
+/// a strictly improving move, so skipping it loses nothing.
 pub fn constrained_refine(
     g: &WeightedGraph,
     p: &mut Partition,
@@ -192,57 +567,20 @@ pub fn constrained_refine(
     opts: &RefineOptions,
 ) -> usize {
     assert!(p.is_complete(), "refinement needs a complete partition");
-    let k = p.k();
-    let mut state = ConstrainedState::new(g, p);
+    if g.num_nodes() == 0 || p.k() <= 1 {
+        return 0;
+    }
+    let mut engine = RefineEngine::new(g, p, c);
     let mut rng = XorShift128Plus::new(derive_seed(opts.seed, 0xC0F1));
-    let mut scratch: Vec<(usize, i64)> = Vec::new();
+    let mut active: Vec<NodeId> = Vec::new();
     let mut total_moves = 0;
 
     for _ in 0..opts.max_passes {
-        let mut order: Vec<NodeId> = g.node_ids().collect();
-        rng.shuffle(&mut order);
+        engine.collect_active(p, c, &mut active);
+        rng.shuffle(&mut active);
         let mut moves = 0;
-        for v in order {
-            let from = p.part_of(v) as usize;
-            if opts.protect_nonempty && state.part_sizes[from] == 1 {
-                continue;
-            }
-            // candidate targets: parts in the neighbourhood (cut can only
-            // improve toward those), plus — when the source part violates
-            // Rmax — the lightest part (pure resource escape).
-            let mut candidates: Vec<u32> = Vec::new();
-            for &(u, _) in g.neighbors(v) {
-                let q = p.part_of(u);
-                if q != from as u32 && !candidates.contains(&q) {
-                    candidates.push(q);
-                }
-            }
-            if state.part_weights[from] > c.rmax {
-                if let Some(light) = (0..k as u32)
-                    .filter(|&t| t as usize != from)
-                    .min_by_key(|&t| state.part_weights[t as usize])
-                {
-                    if !candidates.contains(&light) {
-                        candidates.push(light);
-                    }
-                }
-            }
-            let mut best: Option<(MoveDelta, u32)> = None;
-            for &t in &candidates {
-                let d = state.evaluate_move(g, p, c, v, t, &mut scratch);
-                if !d.improves() {
-                    continue;
-                }
-                let better = match &best {
-                    None => true,
-                    Some((bd, bt)) => (d.dviol, d.dcut, t) < (bd.dviol, bd.dcut, *bt),
-                };
-                if better {
-                    best = Some((d, t));
-                }
-            }
-            if let Some((_, t)) = best {
-                state.apply_move(g, p, v, t);
+        for &v in &active {
+            if engine.try_best_move(p, c, v, opts.protect_nonempty) {
                 moves += 1;
             }
         }
@@ -252,7 +590,7 @@ pub fn constrained_refine(
             // try pairwise exchanges — tight packings (every part close
             // to Rmax) are unreachable by single moves because any move
             // overshoots the receiving part
-            let swaps = swap_pass(g, p, c, &mut state);
+            let swaps = engine.swap_pass(p, c);
             total_moves += swaps;
             if swaps == 0 {
                 break;
@@ -260,76 +598,6 @@ pub fn constrained_refine(
         }
     }
     total_moves
-}
-
-/// One pass of violation-reducing pairwise exchanges between a
-/// resource-violating part and every other part. A swap is accepted
-/// only if it strictly reduces `(violation, cut)` lexicographically;
-/// the exact effect (including bandwidth) is evaluated by applying both
-/// moves on a scratch copy of the state. Returns the number of swaps.
-fn swap_pass(
-    g: &WeightedGraph,
-    p: &mut Partition,
-    c: &Constraints,
-    state: &mut ConstrainedState,
-) -> usize {
-    let k = p.k();
-    let mut swaps = 0;
-    let mut progress = true;
-    while progress && state.violation(c) > 0 {
-        progress = false;
-        let Some(over) = (0..k).find(|&a| state.part_weights[a] > c.rmax) else {
-            break;
-        };
-        let viol_before = state.violation(c) as i64;
-        let cut_before = state.total_cut as i64;
-        let members = p.members();
-        let mut best: Option<((i64, i64), NodeId, NodeId)> = None;
-        for &u in &members[over] {
-            let wu = g.node_weight(u);
-            for b in (0..k).filter(|&b| b != over) {
-                for &v in &members[b] {
-                    let wv = g.node_weight(v);
-                    if wv >= wu {
-                        continue; // swap must lighten the violating part
-                    }
-                    // cheap resource prefilter before the exact check
-                    let wa = state.part_weights[over];
-                    let wb = state.part_weights[b];
-                    let res_before =
-                        (wa as i64 - c.rmax as i64).max(0) + (wb as i64 - c.rmax as i64).max(0);
-                    let res_after = ((wa - wu + wv) as i64 - c.rmax as i64).max(0)
-                        + ((wb - wv + wu) as i64 - c.rmax as i64).max(0);
-                    if res_after >= res_before {
-                        continue;
-                    }
-                    // exact evaluation on a scratch copy
-                    let mut s2 = state.clone();
-                    let mut p2 = p.clone();
-                    s2.apply_move(g, &mut p2, u, b as u32);
-                    s2.apply_move(g, &mut p2, v, over as u32);
-                    let d = (
-                        s2.violation(c) as i64 - viol_before,
-                        s2.total_cut as i64 - cut_before,
-                    );
-                    if d.0 < 0 || (d.0 == 0 && d.1 < 0) {
-                        match best {
-                            Some((bd, _, _)) if bd <= d => {}
-                            _ => best = Some((d, u, v)),
-                        }
-                    }
-                }
-            }
-        }
-        if let Some((_, u, v)) = best {
-            let bu = p.part_of(v);
-            state.apply_move(g, p, u, bu);
-            state.apply_move(g, p, v, over as u32);
-            swaps += 1;
-            progress = true;
-        }
-    }
-    swaps
 }
 
 #[cfg(test)]
@@ -365,6 +633,20 @@ mod tests {
     }
 
     #[test]
+    fn tracked_state_matches_scan_after_moves() {
+        let g = bw_tension();
+        let c = Constraints::new(25, 20);
+        let mut p = Partition::from_assignment(vec![0, 0, 1, 1, 2, 2], 3).unwrap();
+        let mut s = ConstrainedState::new_tracked(&g, &p, &c);
+        for (v, to) in [(1u32, 1u32), (4, 0), (0, 2), (3, 0)] {
+            s.apply_move(&g, &mut p, NodeId(v), to);
+            let fresh = ConstrainedState::new(&g, &p);
+            assert_eq!(s.total_cut, fresh.total_cut, "after {v}->{to}");
+            assert_eq!(s.violation(&c), fresh.violation(&c), "after {v}->{to}");
+        }
+    }
+
+    #[test]
     fn evaluate_matches_apply() {
         let g = bw_tension();
         let c = Constraints::new(25, 20);
@@ -372,7 +654,7 @@ mod tests {
         for to in 0..3u32 {
             for vi in 0..6u32 {
                 let mut p = Partition::from_assignment(vec![0, 0, 1, 1, 2, 2], 3).unwrap();
-                let s = ConstrainedState::new(&g, &p);
+                let s = ConstrainedState::new_tracked(&g, &p, &c);
                 let viol_before = s.violation(&c) as i64;
                 let cut_before = s.total_cut as i64;
                 let d = s.evaluate_move(&g, &p, &c, NodeId(vi), to, &mut scratch);
@@ -388,6 +670,23 @@ mod tests {
                     s2.total_cut as i64 - cut_before,
                     "node {vi} → {to}: cut delta mismatch"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_handles_unconstrained_limits() {
+        // u64::MAX limits must mean "no violation", not a sign-flipped
+        // threshold (a saturation bug in an earlier version)
+        let g = bw_tension();
+        let c = Constraints::unconstrained();
+        let p = Partition::from_assignment(vec![0, 1, 0, 1, 0, 1], 2).unwrap();
+        let s = ConstrainedState::new_tracked(&g, &p, &c);
+        let mut scratch = Vec::new();
+        for vi in 0..6u32 {
+            for to in 0..2u32 {
+                let d = s.evaluate_move(&g, &p, &c, NodeId(vi), to, &mut scratch);
+                assert_eq!(d.dviol, 0, "node {vi} → {to} under no constraints");
             }
         }
     }
@@ -445,6 +744,24 @@ mod tests {
         assert!(ConstrainedState::new(&g, &p).violation(&c) > 0);
         constrained_refine(&g, &mut p, &c, &RefineOptions::default());
         assert!(c.is_feasible(&g, &p), "resource repair should succeed");
+    }
+
+    #[test]
+    fn overweight_interior_nodes_are_visited() {
+        // part 0 holds two isolated heavy nodes (no boundary edges at
+        // all): only the Rmax-violator sweep can move one out
+        let mut g = WeightedGraph::new();
+        let _a = g.add_node(40);
+        let _b = g.add_node(40);
+        let c0 = g.add_node(10);
+        let d = g.add_node(10);
+        g.add_edge(c0, d, 3).unwrap();
+        let c = Constraints::new(50, 100);
+        let mut p = Partition::from_assignment(vec![0, 0, 1, 1], 2).unwrap();
+        assert!(ConstrainedState::new(&g, &p).violation(&c) > 0);
+        let moves = constrained_refine(&g, &mut p, &c, &RefineOptions::default());
+        assert!(moves > 0);
+        assert!(c.is_feasible(&g, &p), "weights {:?}", p.part_weights(&g));
     }
 
     #[test]
@@ -515,5 +832,19 @@ mod tests {
         assert!(c.is_feasible(&g, &p));
         constrained_refine(&g, &mut p, &c, &RefineOptions::default());
         assert!(c.is_feasible(&g, &p));
+    }
+
+    #[test]
+    fn single_part_is_a_no_op() {
+        let g = bw_tension();
+        let mut p = Partition::all_in_one(6, 1);
+        let moves = constrained_refine(
+            &g,
+            &mut p,
+            &Constraints::unconstrained(),
+            &RefineOptions::default(),
+        );
+        assert_eq!(moves, 0);
+        assert!(p.assignment().iter().all(|&a| a == 0));
     }
 }

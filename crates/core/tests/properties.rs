@@ -2,6 +2,7 @@
 
 use gp_core::coarsen::{gp_coarsen, run_matching};
 use gp_core::refine::{constrained_refine, ConstrainedState, RefineOptions};
+use gp_core::refine_reference::constrained_refine_reference;
 use gp_core::{gp_partition, GpParams, MatchingKind};
 use ppn_graph::metrics::{edge_cut, PartitionQuality};
 use ppn_graph::{Constraints, NodeId, Partition, WeightedGraph};
@@ -90,6 +91,98 @@ proptest! {
                 "feasible cut rose: {} -> {}", cut_before, edge_cut(&g, &p));
         }
         prop_assert!(p.is_complete());
+    }
+
+    #[test]
+    fn reference_refinement_never_worsens_violation_or_feasible_cut(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        k in 2usize..5,
+        rmax_frac in 3u64..8,
+        bmax_frac in 2u64..8
+    ) {
+        let c = Constraints::new(
+            (g.total_node_weight() * rmax_frac / (2 * k as u64)).max(1),
+            (g.total_edge_weight() * bmax_frac / 8).max(1),
+        );
+        let mut p = arb_partition(g.num_nodes(), k, seed);
+        let v_before = ConstrainedState::new(&g, &p).violation(&c);
+        let cut_before = edge_cut(&g, &p);
+        constrained_refine_reference(&g, &mut p, &c, &RefineOptions {
+            seed,
+            ..Default::default()
+        });
+        let after = ConstrainedState::new(&g, &p);
+        prop_assert!(after.violation(&c) <= v_before);
+        if v_before == 0 {
+            prop_assert!(edge_cut(&g, &p) <= cut_before);
+        }
+    }
+
+    #[test]
+    fn boundary_refinement_reaches_single_move_fixed_point(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        k in 2usize..5,
+        rmax_frac in 3u64..8,
+        bmax_frac in 2u64..8
+    ) {
+        // the boundary-restricted sweep must terminate at the same kind
+        // of fixed point as a full sweep: no node — boundary or
+        // interior — may still have a strictly improving single move
+        let c = Constraints::new(
+            (g.total_node_weight() * rmax_frac / (2 * k as u64)).max(1),
+            (g.total_edge_weight() * bmax_frac / 8).max(1),
+        );
+        let mut p = arb_partition(g.num_nodes(), k, seed);
+        constrained_refine(&g, &mut p, &c, &RefineOptions {
+            seed,
+            max_passes: 64, // far above what these sizes need to converge
+            ..Default::default()
+        });
+        let s = ConstrainedState::new_tracked(&g, &p, &c);
+        let mut scratch = Vec::new();
+        for v in g.node_ids() {
+            let from = p.part_of(v) as usize;
+            if s.part_sizes[from] == 1 {
+                continue; // protected, as during refinement
+            }
+            for t in 0..k as u32 {
+                if t as usize == from {
+                    continue;
+                }
+                let d = s.evaluate_move(&g, &p, &c, v, t, &mut scratch);
+                prop_assert!(
+                    !d.improves(),
+                    "node {:?} -> {} still improves: {:?}", v, t, d
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gp_parallel_flag_does_not_change_result(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        k in 2usize..4
+    ) {
+        // the rayon shim actually splits work across threads now; the
+        // total-order reductions must keep results schedule-independent
+        let c = Constraints::new(
+            (g.total_node_weight() * 3 / (2 * k as u64)).max(1),
+            (g.total_edge_weight() / 2).max(1),
+        );
+        let base = GpParams { max_cycles: 2, initial_restarts: 6, ..GpParams::default() }
+            .with_seed(seed);
+        let par = GpParams { parallel: true, ..base.clone() };
+        let seq = GpParams { parallel: false, ..base };
+        let a = gp_partition(&g, k, &c, &par);
+        let b = gp_partition(&g, k, &c, &seq);
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x.partition, y.partition),
+            (Err(x), Err(y)) => prop_assert_eq!(x.best.partition, y.best.partition),
+            _ => prop_assert!(false, "parallel flag flipped the feasibility verdict"),
+        }
     }
 
     #[test]

@@ -16,6 +16,6 @@ pub mod community;
 pub mod paper;
 pub mod random;
 
-pub use community::community_graph;
+pub use community::{community_graph, dense_community_graph};
 pub use paper::{all_experiments, experiment1, experiment2, experiment3, Experiment, PaperRow};
 pub use random::{random_graph, random_layered_ppn, RandomGraphSpec};

@@ -20,6 +20,7 @@
 //! matrix format as used by the paper's MATLAB setup, DOT, JSON).
 
 pub mod algo;
+pub mod boundary;
 pub mod constraints;
 pub mod contract;
 pub mod csr;
@@ -32,6 +33,7 @@ pub mod metrics;
 pub mod partition;
 pub mod prng;
 
+pub use boundary::Boundary;
 pub use constraints::{ConstraintReport, Constraints};
 pub use contract::{contract, CoarseMap};
 pub use csr::Csr;

@@ -22,10 +22,32 @@ use serde::{Deserialize, Serialize};
 /// Symmetric K×K matrix of inter-part traffic. Entry `(a, b)` with
 /// `a != b` is the summed weight of edges with one endpoint in part `a`
 /// and the other in part `b`. The diagonal is unused (kept zero).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The matrix maintains two aggregates *incrementally* alongside the
+/// per-pair entries, so the refinement hot path never rescans the K×K
+/// grid:
+///
+/// * the total cut ([`total_cut`](CutMatrix::total_cut) is O(1));
+/// * the bandwidth-violation magnitude against a *tracked* `Bmax`
+///   ([`track_bmax`](CutMatrix::track_bmax) /
+///   [`tracked_excess`](CutMatrix::tracked_excess)). The default tracked
+///   threshold is `u64::MAX`, for which the excess is trivially zero.
+///
+/// Equality compares only the traffic matrix itself (shape and
+/// entries), not the tracked threshold.
+#[derive(Clone, Debug, Eq, Serialize, Deserialize)]
 pub struct CutMatrix {
     k: usize,
     data: Vec<u64>,
+    total: u64,
+    tracked_bmax: u64,
+    excess: u64,
+}
+
+impl PartialEq for CutMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.k == other.k && self.data == other.data
+    }
 }
 
 impl CutMatrix {
@@ -34,6 +56,9 @@ impl CutMatrix {
         CutMatrix {
             k,
             data: vec![0; k * k],
+            total: 0,
+            tracked_bmax: u64::MAX,
+            excess: 0,
         }
     }
 
@@ -62,33 +87,81 @@ impl CutMatrix {
         self.data[a * self.k + b]
     }
 
+    /// Track bandwidth excess against `bmax` from now on: the running
+    /// sum of `(traffic - bmax).max(0)` over unordered pairs is updated
+    /// in O(1) per pair change and read back by
+    /// [`tracked_excess`](CutMatrix::tracked_excess). Costs one O(k²)
+    /// scan to (re)base.
+    pub fn track_bmax(&mut self, bmax: u64) {
+        self.tracked_bmax = bmax;
+        let mut e = 0;
+        for a in 0..self.k {
+            for b in (a + 1)..self.k {
+                e += self.get(a, b).saturating_sub(bmax);
+            }
+        }
+        self.excess = e;
+    }
+
+    /// The `Bmax` the excess aggregate is tracked against (`u64::MAX`
+    /// when never set).
+    #[inline]
+    pub fn tracked_bmax(&self) -> u64 {
+        self.tracked_bmax
+    }
+
+    /// Incrementally-maintained bandwidth-violation magnitude against
+    /// the tracked `Bmax`: `Σ (traffic(a,b) - bmax).max(0)` over pairs.
+    #[inline]
+    pub fn tracked_excess(&self) -> u64 {
+        self.excess
+    }
+
     #[inline]
     fn add(&mut self, a: usize, b: usize, w: u64) {
-        if a == b {
+        if a == b || w == 0 {
             return;
         }
-        self.data[a * self.k + b] += w;
-        self.data[b * self.k + a] += w;
+        let cur = self.data[a * self.k + b];
+        let new = cur + w;
+        self.excess +=
+            new.saturating_sub(self.tracked_bmax) - cur.saturating_sub(self.tracked_bmax);
+        self.total += w;
+        self.data[a * self.k + b] = new;
+        self.data[b * self.k + a] = new;
     }
 
     #[inline]
     fn sub(&mut self, a: usize, b: usize, w: u64) {
-        if a == b {
+        if a == b || w == 0 {
             return;
         }
-        self.data[a * self.k + b] -= w;
-        self.data[b * self.k + a] -= w;
+        let cur = self.data[a * self.k + b];
+        let new = cur - w;
+        self.excess -=
+            cur.saturating_sub(self.tracked_bmax) - new.saturating_sub(self.tracked_bmax);
+        self.total -= w;
+        self.data[a * self.k + b] = new;
+        self.data[b * self.k + a] = new;
     }
 
     /// Apply the effect of moving node `n` from `from` to `to` given the
     /// node's current neighbourhood. Call *before* mutating the partition
     /// (i.e. while `p.part_of(n) == from` still holds for neighbours'
     /// bookkeeping — only the partition entries of *other* nodes are
-    /// read).
-    pub fn apply_move(&mut self, g: &WeightedGraph, p: &Partition, n: NodeId, from: u32, to: u32) {
+    /// read). Returns the change in total cut.
+    pub fn apply_move(
+        &mut self,
+        g: &WeightedGraph,
+        p: &Partition,
+        n: NodeId,
+        from: u32,
+        to: u32,
+    ) -> i64 {
         if from == to {
-            return;
+            return 0;
         }
+        let before = self.total as i64;
         for &(nbr, e) in g.neighbors(n) {
             let q = p.part_of(nbr);
             if q == Partition::UNASSIGNED {
@@ -102,6 +175,34 @@ impl CutMatrix {
                 self.add(to as usize, q as usize, w);
             }
         }
+        self.total as i64 - before
+    }
+
+    /// Apply a move described by the moving node's part-connectivity row
+    /// (`row[q]` = summed weight of its edges into part `q`, as
+    /// maintained by [`Boundary`](crate::boundary::Boundary)). This is
+    /// the O(k) fast path of [`apply_move`](CutMatrix::apply_move): the
+    /// node's neighbourhood is never touched. Returns the change in
+    /// total cut.
+    pub fn apply_conn_row_move(&mut self, row: &[u64], from: u32, to: u32) -> i64 {
+        debug_assert_eq!(row.len(), self.k);
+        if from == to {
+            return 0;
+        }
+        let (f, t) = (from as usize, to as usize);
+        let before = self.total as i64;
+        for (q, &w) in row.iter().enumerate() {
+            if w == 0 || q == f || q == t {
+                continue;
+            }
+            self.sub(f, q, w);
+            self.add(t, q, w);
+        }
+        // (from, to) itself: edges into the old part become cross
+        // traffic, edges into the new part become internal
+        self.add(f, t, row[f]);
+        self.sub(f, t, row[t]);
+        self.total as i64 - before
     }
 
     /// The maximum pairwise traffic ("maximum local bandwidth" in the
@@ -116,15 +217,10 @@ impl CutMatrix {
         best
     }
 
-    /// Total edge cut: half the matrix sum (each pair counted once).
+    /// Total edge cut, maintained incrementally (O(1)).
+    #[inline]
     pub fn total_cut(&self) -> u64 {
-        let mut s = 0;
-        for a in 0..self.k {
-            for b in (a + 1)..self.k {
-                s += self.get(a, b);
-            }
-        }
-        s
+        self.total
     }
 
     /// Pairs `(a, b, traffic)` with traffic exceeding `bmax`.
@@ -141,8 +237,13 @@ impl CutMatrix {
         v
     }
 
-    /// Sum of the amounts by which pairs exceed `bmax`.
+    /// Sum of the amounts by which pairs exceed `bmax`. O(1) when `bmax`
+    /// is the tracked threshold (see [`track_bmax`](CutMatrix::track_bmax)),
+    /// an O(k²) scan otherwise.
     pub fn violation_magnitude(&self, bmax: u64) -> u64 {
+        if bmax == self.tracked_bmax {
+            return self.excess;
+        }
         self.violations(bmax)
             .into_iter()
             .map(|(_, _, t)| t - bmax)
@@ -298,6 +399,71 @@ mod tests {
         m.apply_move(&g, &p, NodeId(1), Partition::UNASSIGNED, 1);
         p.assign(NodeId(1), 1);
         assert_eq!(m, CutMatrix::compute(&g, &p));
+    }
+
+    #[test]
+    fn incremental_total_and_excess_match_scans() {
+        let g = cycle4().unwrap();
+        let mut p = Partition::from_assignment(vec![0, 0, 1, 1], 2).unwrap();
+        let mut m = CutMatrix::compute(&g, &p);
+        m.track_bmax(3);
+        let scan_total = |m: &CutMatrix| {
+            let mut s = 0;
+            for a in 0..m.k() {
+                for b in (a + 1)..m.k() {
+                    s += m.get(a, b);
+                }
+            }
+            s
+        };
+        let scan_excess = |m: &CutMatrix, bmax: u64| {
+            let mut s = 0;
+            for a in 0..m.k() {
+                for b in (a + 1)..m.k() {
+                    s += m.get(a, b).saturating_sub(bmax);
+                }
+            }
+            s
+        };
+        assert_eq!(m.total_cut(), scan_total(&m));
+        assert_eq!(m.tracked_excess(), scan_excess(&m, 3));
+        for (v, to) in [(1u32, 1u32), (3, 0), (1, 0), (0, 1), (2, 0)] {
+            let from = p.part_of(NodeId(v));
+            m.apply_move(&g, &p, NodeId(v), from, to);
+            p.assign(NodeId(v), to);
+            assert_eq!(m.total_cut(), scan_total(&m), "total after {v}->{to}");
+            assert_eq!(
+                m.tracked_excess(),
+                scan_excess(&m, 3),
+                "excess after {v}->{to}"
+            );
+            assert_eq!(m.violation_magnitude(3), m.tracked_excess());
+        }
+    }
+
+    #[test]
+    fn conn_row_move_matches_neighbour_move() {
+        let g = cycle4().unwrap();
+        let p = Partition::from_assignment(vec![0, 0, 1, 2], 3).unwrap();
+        for v in 0..4u32 {
+            for to in 0..3u32 {
+                let from = p.part_of(NodeId(v));
+                // part-connectivity row of v under the current partition
+                let mut row = vec![0u64; 3];
+                for &(u, e) in g.neighbors(NodeId(v)) {
+                    row[p.part_of(u) as usize] += g.edge_weight(e);
+                }
+                let mut a = CutMatrix::compute(&g, &p);
+                a.track_bmax(2);
+                let mut b = a.clone();
+                let da = a.apply_move(&g, &p, NodeId(v), from, to);
+                let db = b.apply_conn_row_move(&row, from, to);
+                assert_eq!(a, b, "v={v} to={to}");
+                assert_eq!(da, db);
+                assert_eq!(a.total_cut(), b.total_cut());
+                assert_eq!(a.tracked_excess(), b.tracked_excess());
+            }
+        }
     }
 
     #[test]

@@ -2,11 +2,14 @@
 //! incremental metric consistency, and I/O round-trips on arbitrary
 //! graphs.
 
+use ppn_graph::boundary::Boundary;
 use ppn_graph::contract::contract;
+use ppn_graph::csr::Csr;
 use ppn_graph::io::{matrix, metis};
 use ppn_graph::matching::random_maximal_matching;
 use ppn_graph::metrics::{edge_cut, CutMatrix};
 use ppn_graph::partition::Partition;
+use ppn_graph::prng::XorShift128Plus;
 use ppn_graph::{NodeId, WeightedGraph};
 use proptest::prelude::*;
 
@@ -102,6 +105,62 @@ proptest! {
             p.assign(n, to);
         }
         prop_assert_eq!(m, CutMatrix::compute(&g, &p));
+    }
+
+    #[test]
+    fn incremental_aggregates_agree_with_scans(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        k in 2usize..5,
+        bmax in 0u64..40,
+        moves in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..30)
+    ) {
+        let mut p = arb_partition(g.num_nodes(), k, seed);
+        let mut m = CutMatrix::compute(&g, &p);
+        m.track_bmax(bmax);
+        for (rn, rp) in moves {
+            let n = NodeId((rn as usize % g.num_nodes()) as u32);
+            let to = rp % k as u32;
+            let from = p.part_of(n);
+            m.apply_move(&g, &p, n, from, to);
+            p.assign(n, to);
+            let fresh = CutMatrix::compute(&g, &p);
+            prop_assert_eq!(m.total_cut(), fresh.total_cut());
+            prop_assert_eq!(m.tracked_excess(), fresh.violation_magnitude(bmax));
+            prop_assert_eq!(m.violation_magnitude(bmax), m.tracked_excess());
+        }
+    }
+
+    #[test]
+    fn boundary_matches_fresh_after_random_moves(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        k in 2usize..6,
+        moves in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..40)
+    ) {
+        let csr = Csr::from_graph(&g);
+        let mut p = arb_partition(g.num_nodes(), k, seed);
+        let mut b = Boundary::new(&csr, &p);
+        let mut rng = XorShift128Plus::new(seed);
+        for (rn, rp) in moves {
+            let n = NodeId((rn as usize % g.num_nodes()) as u32);
+            let to = (rp ^ rng.next_u64() as u32) % k as u32;
+            let from = p.part_of(n);
+            b.apply_move(&csr, &p, n, from, to);
+            p.assign(n, to);
+        }
+        let fresh = Boundary::new(&csr, &p);
+        for v in g.node_ids() {
+            prop_assert_eq!(b.conn(v), fresh.conn(v), "conn row of {:?}", v);
+            prop_assert_eq!(b.conn_mask(v), fresh.conn_mask(v), "mask of {:?}", v);
+            prop_assert_eq!(b.external(v), fresh.external(v), "ext of {:?}", v);
+            prop_assert_eq!(b.is_boundary(v), fresh.is_boundary(v), "membership of {:?}", v);
+        }
+        let mut have: Vec<_> = b.nodes().to_vec();
+        let mut want: Vec<_> = fresh.nodes().to_vec();
+        have.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(have, want);
     }
 
     #[test]

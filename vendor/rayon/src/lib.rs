@@ -1,38 +1,166 @@
-//! Offline shim for the tiny slice of `rayon` this workspace uses.
+//! Offline shim for the slice of `rayon` this workspace uses — now a
+//! *real* parallel implementation.
 //!
 //! The build container has no access to crates.io, so the workspace
-//! vendors a sequential stand-in: `into_par_iter()` simply yields the
-//! ordinary sequential iterator. All call sites in this workspace reduce
-//! with a total order (`min_by_key` over a goodness key), so sequential
-//! and parallel execution are observationally identical — which is
-//! exactly the determinism contract `gp_core::initial` documents.
+//! vendors this stand-in. Unlike the original sequential shim, work is
+//! actually split across OS threads with `std::thread::scope`: the
+//! input is collected, cut into contiguous chunks (one per available
+//! core, capped by the item count), and each chunk is mapped on its own
+//! scoped thread. Reductions happen after the join, so:
+//!
+//! * `collect` preserves input order exactly;
+//! * `min`/`min_by_key` return the **first** minimum and
+//!   `max_by_key` the **last** maximum, matching
+//!   [`std::iter::Iterator`] semantics — identical sequentially or in
+//!   parallel.
+//!
+//! All call sites in this workspace additionally reduce with a *total*
+//! order (e.g. `min_by_key` over a goodness key that embeds the restart
+//! index), so results are schedule-independent by construction — the
+//! determinism contract `gp_core::initial` documents.
+//!
+//! Not implemented (and not used here): work stealing, nested
+//! parallelism tuning, custom thread pools, `rayon::scope`/`join`.
 
-pub mod prelude {
-    /// Sequential stand-in for rayon's `IntoParallelIterator`.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Returns the ordinary sequential iterator.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use for `n` items: the machine's
+/// available parallelism, capped by the item count. Overridable (mainly
+/// for tests and CI) via `RAYON_NUM_THREADS`.
+fn num_threads(n: usize) -> usize {
+    let hw = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .or_else(|| {
+            std::thread::available_parallelism()
+                .ok()
+                .map(NonZeroUsize::get)
+        })
+        .unwrap_or(1);
+    hw.min(n).max(1)
+}
+
+/// Map `items` through `f` on scoped worker threads, preserving order.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = num_threads(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let mapped: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // re-raise with the original payload so assertion
+                // messages from worker threads survive
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    mapped.into_iter().flatten().collect()
+}
+
+/// An eagerly-collected parallel iterator (the shim's pivot type).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map: `f` runs on scoped worker threads immediately; the
+    /// mapped results come back in input order. (Real rayon defers the
+    /// map into the reduction; for the pipelines this workspace builds —
+    /// map, then one reduction — eager evaluation is observationally
+    /// identical and keeps type inference simple.)
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: par_map_vec(self.items, &f),
         }
     }
 
-    impl<T: IntoIterator> IntoParallelIterator for T {}
+    /// The first minimum element, as `Iterator::min`.
+    pub fn min(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().min()
+    }
 
-    /// Sequential stand-in for rayon's `IntoParallelRefIterator`.
+    /// The first element minimising `key`, as `Iterator::min_by_key`.
+    pub fn min_by_key<K: Ord, G: FnMut(&T) -> K>(self, key: G) -> Option<T> {
+        self.items.into_iter().min_by_key(key)
+    }
+
+    /// The last element maximising `key`, as `Iterator::max_by_key`.
+    pub fn max_by_key<K: Ord, G: FnMut(&T) -> K>(self, key: G) -> Option<T> {
+        self.items.into_iter().max_by_key(key)
+    }
+
+    /// Collect the items, preserving order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+pub mod prelude {
+    pub use super::ParIter;
+
+    /// Parallel counterpart of [`IntoIterator`].
+    pub trait IntoParallelIterator: IntoIterator + Sized
+    where
+        Self::Item: Send,
+    {
+        /// Collect into the shim's parallel pivot type.
+        fn into_par_iter(self) -> ParIter<Self::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
+        }
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T where T::Item: Send {}
+
+    /// Parallel counterpart of iterating `&self`.
     pub trait IntoParallelRefIterator<'data> {
-        /// The iterator type.
-        type Iter: Iterator;
-        /// Returns the ordinary sequential iterator over references.
-        fn par_iter(&'data self) -> Self::Iter;
+        /// The element type (a reference in the usual case).
+        type Item: Send + 'data;
+        /// A parallel iterator over references.
+        fn par_iter(&'data self) -> ParIter<Self::Item>;
     }
 
     impl<'data, T: 'data> IntoParallelRefIterator<'data> for T
     where
         &'data T: IntoIterator,
+        <&'data T as IntoIterator>::Item: Send,
     {
-        type Iter = <&'data T as IntoIterator>::IntoIter;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
+        type Item = <&'data T as IntoIterator>::Item;
+        fn par_iter(&'data self) -> ParIter<Self::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
         }
     }
 }
@@ -42,9 +170,9 @@ mod tests {
     use super::prelude::*;
 
     #[test]
-    fn into_par_iter_is_sequential() {
-        let v: Vec<usize> = (0..5).into_par_iter().map(|x| x * 2).collect();
-        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
@@ -52,5 +180,66 @@ mod tests {
         let data = vec![3u64, 1, 2];
         let m = data.par_iter().min().copied();
         assert_eq!(m, Some(1));
+    }
+
+    #[test]
+    fn min_by_key_matches_sequential() {
+        let par = (0..257usize)
+            .into_par_iter()
+            .map(|x| (x * 37) % 101)
+            .min_by_key(|&v| v);
+        let seq = (0..257usize).map(|x| (x * 37) % 101).min_by_key(|&v| v);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn max_by_key_matches_sequential() {
+        let par = (0..257usize)
+            .into_par_iter()
+            .map(|x| (x * 37) % 101)
+            .max_by_key(|&v| v);
+        let seq = (0..257usize).map(|x| (x * 37) % 101).max_by_key(|&v| v);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn threads_actually_run_concurrently() {
+        // each item records which thread mapped it; with >= 2 workers
+        // and enough items at least two distinct workers must appear
+        let workers = super::num_threads(64);
+        if workers < 2 {
+            return; // single-core runner or RAYON_NUM_THREADS=1
+        }
+        let ids: std::collections::HashSet<std::thread::ThreadId> = (0..64)
+            .into_par_iter()
+            .map(|_| std::thread::current().id())
+            .collect();
+        assert!(ids.len() >= 2, "expected work on >= 2 threads, got {ids:?}");
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let v: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+        assert_eq!(
+            std::iter::once(41u32).into_par_iter().map(|x| x + 1).min(),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn borrows_are_usable_from_workers() {
+        // scoped threads: mapping may capture &data
+        let data: Vec<u64> = (0..100).collect();
+        let total: u64 = {
+            let slice = &data;
+            (0..100usize)
+                .into_par_iter()
+                .map(|i| slice[i])
+                .collect::<Vec<_>>()
+                .iter()
+                .sum()
+        };
+        assert_eq!(total, data.iter().sum::<u64>());
     }
 }
