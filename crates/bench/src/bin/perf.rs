@@ -4,23 +4,35 @@
 //!
 //! Runs the scaling workload family (planted-community graphs, the same
 //! family as the `scaling` criterion bench), times every GP phase
-//! separately — coarsening, initial partitioning, refinement up the
-//! hierarchy, end-to-end — and times the refinement rewrite against the
-//! preserved pre-optimisation reference implementation
-//! (`gp_core::constrained_refine_reference`) on an identical scrambled
-//! start. Results are written to `BENCH_gp.json` at the repo root so
-//! every PR carries a measured perf trajectory; `--smoke` shrinks the
-//! sizes for CI.
+//! separately — coarsening (with a per-level breakdown, since PR 2 made
+//! it the dominant cost), initial partitioning, refinement up the
+//! hierarchy, end-to-end — records the hierarchy's peak memory footprint
+//! (summed per-level node/edge counts, so coarsening-ratio regressions
+//! show up even when time doesn't move), and times the refinement
+//! rewrite against the preserved pre-optimisation reference
+//! implementation (`gp_core::constrained_refine_reference`) on an
+//! identical scrambled start.
+//!
+//! A second section compares the edge-cut and connectivity objectives
+//! on fan-out-heavy multicast networks: GP on the clique-lowered graph
+//! versus `ppn_hyper::hyper_partition` on the net-lowered hypergraph,
+//! with both partitions priced under both models.
+//!
+//! Results are written to `BENCH_gp.json` at the repo root so every PR
+//! carries a measured perf trajectory; `--smoke` shrinks the sizes for
+//! CI.
 
 use gp_core::refine::RefineOptions;
 use gp_core::{
-    constrained_refine, constrained_refine_reference, gp_coarsen, gp_partition,
-    greedy_initial_partition, GpParams, InitialOptions,
+    constrained_refine, constrained_refine_reference, gp_coarsen, gp_coarsen_observed,
+    gp_partition, greedy_initial_partition, GpHierarchy, GpParams, InitialOptions,
 };
-use ppn_gen::dense_community_graph;
-use ppn_graph::metrics::PartitionQuality;
+use ppn_gen::{dense_community_graph, multicast_network, MulticastSpec};
+use ppn_graph::metrics::{edge_cut, PartitionQuality};
 use ppn_graph::prng::derive_seed;
 use ppn_graph::{Constraints, Partition, WeightedGraph};
+use ppn_hyper::{hyper_partition, HyperParams, HyperQuality};
+use ppn_model::{lower_to_graph, lower_to_hypergraph, LoweringOptions};
 use std::time::Instant;
 
 /// Best-of-`reps` wall-clock seconds for `f` (min filters scheduler
@@ -74,6 +86,49 @@ fn scaling_workloads(smoke: bool) -> Vec<Workload> {
         .collect()
 }
 
+/// Per-level timing breakdown of the coarsening phase, observed from
+/// inside the real `gp_coarsen` loop (`gp_coarsen_observed`), so the
+/// rows always describe the hierarchy the partitioner actually builds.
+/// PR 2 left coarsening at ~98% of end-to-end on 32k nodes — this is
+/// the instrument that makes the next optimisation measurable.
+fn coarsen_level_breakdown(
+    g: &WeightedGraph,
+    params: &GpParams,
+    seed: u64,
+) -> Vec<serde_json::Value> {
+    let mut rows = Vec::new();
+    gp_coarsen_observed(g, &params.matchings, params.coarsen_to, seed, &mut |t| {
+        rows.push(serde_json::json!({
+            "level": t.level,
+            "fine_nodes": t.fine_nodes,
+            "fine_edges": t.fine_edges,
+            "coarse_nodes": t.coarse_nodes,
+            "matching": t.matching_kind.to_string(),
+            "matching_s": t.matching_s,
+            "contract_s": t.contract_s,
+        }));
+    });
+    rows
+}
+
+/// Peak memory footprint of a hierarchy: every level is held alive
+/// simultaneously during uncoarsening, so the sum of per-level node and
+/// edge counts is the quantity a coarsening-ratio regression inflates.
+fn hierarchy_footprint(hier: &GpHierarchy) -> serde_json::Value {
+    let mut nodes: usize = hier.coarsest().num_nodes();
+    let mut edges: usize = hier.coarsest().num_edges();
+    for l in &hier.levels {
+        nodes += l.fine.num_nodes();
+        edges += l.fine.num_edges();
+    }
+    serde_json::json!({
+        "levels": hier.depth(),
+        "total_nodes": nodes,
+        "total_edges": edges,
+        "size_trace": hier.size_trace(),
+    })
+}
+
 fn measure(w: &Workload, reps: usize) -> (serde_json::Value, f64) {
     let params = GpParams::default();
     let seed = derive_seed(params.seed, 0xC1C);
@@ -82,6 +137,8 @@ fn measure(w: &Workload, reps: usize) -> (serde_json::Value, f64) {
     let (coarsen_s, hier) = time_best(reps, || {
         gp_coarsen(&w.g, &params.matchings, params.coarsen_to, seed)
     });
+    let coarsen_levels = coarsen_level_breakdown(&w.g, &params, seed);
+    let hierarchy = hierarchy_footprint(&hier);
     let (initial_s, p0) = time_best(reps, || {
         greedy_initial_partition(
             hier.coarsest(),
@@ -213,6 +270,8 @@ fn measure(w: &Workload, reps: usize) -> (serde_json::Value, f64) {
             "refine_up": refine_up_s,
             "end_to_end": end_to_end_s,
         },
+        "coarsen_levels": coarsen_levels,
+        "hierarchy": hierarchy,
         "refinement": {
             "start": "scrambled",
             "reference_s": reference_s,
@@ -227,6 +286,101 @@ fn measure(w: &Workload, reps: usize) -> (serde_json::Value, f64) {
         },
     });
     (doc, speedup)
+}
+
+/// Edge-cut vs connectivity on fan-out-heavy multicast networks: GP
+/// partitions the clique-lowered graph, the hypergraph engine partitions
+/// the net-lowered hypergraph, and both partitions are priced under both
+/// models. `connectivity ≤ edge-cut model` holds for any partition (a
+/// net spanning λ parts is charged λ−1 times versus once per stranded
+/// consumer); the interesting number is how much the hyper engine's
+/// native objective beats pricing GP's partition correctly.
+fn measure_hyper(
+    stars: usize,
+    fanout: usize,
+    k: usize,
+    seed: u64,
+    reps: usize,
+) -> serde_json::Value {
+    let net = multicast_network(&MulticastSpec::ring(stars, fanout, seed));
+    let opts = LoweringOptions::default();
+    let g = lower_to_graph(&net, &opts);
+    let hg = lower_to_hypergraph(&net, &opts);
+    let total = hg.total_node_weight();
+    let cons = Constraints::new(total / k as u64 + total / 8, total / k as u64);
+
+    let (gp_s, gp_part) = time_best(reps, || {
+        match gp_partition(&g, k, &cons, &GpParams::default()) {
+            Ok(r) => r.partition,
+            Err(e) => e.best.partition.clone(),
+        }
+    });
+    let (hyper_s, (hyper_part, hyper_feasible)) = time_best(reps, || {
+        match hyper_partition(&hg, k, &cons, &HyperParams::default()) {
+            Ok(r) => (r.partition, true),
+            Err(e) => (e.best.partition.clone(), false),
+        }
+    });
+
+    let price = |p: &Partition| {
+        let conn = HyperQuality::measure(&hg, p).connectivity_cost;
+        let edge = edge_cut(&g, p);
+        assert!(
+            conn <= edge,
+            "connectivity-(λ−1) must never exceed the edge-cut model: {conn} vs {edge}"
+        );
+        (conn, edge)
+    };
+    let (gp_conn, gp_edge) = price(&gp_part);
+    let (hy_conn, hy_edge) = price(&hyper_part);
+
+    println!(
+        "{:<18} n={:<5} nets={:<4} k={k}  gp: edge {:>5} conn {:>5} ({:>7.4}s)  hyper: edge {:>5} conn {:>5} ({:>7.4}s){}",
+        format!("multicast-{stars}x{fanout}"),
+        hg.num_nodes(),
+        hg.num_nets(),
+        gp_edge,
+        gp_conn,
+        gp_s,
+        hy_edge,
+        hy_conn,
+        hyper_s,
+        if hyper_feasible { "" } else { "  [hyper infeasible]" },
+    );
+
+    serde_json::json!({
+        "name": format!("multicast-{stars}x{fanout}"),
+        "nodes": hg.num_nodes(),
+        "nets": hg.num_nets(),
+        "pins": hg.num_pins(),
+        "k": k,
+        "rmax": cons.rmax,
+        "bmax": cons.bmax,
+        "gp": {
+            "time_s": gp_s,
+            "edge_cut_model": gp_edge,
+            "connectivity": gp_conn,
+        },
+        "hyper": {
+            "time_s": hyper_s,
+            "edge_cut_model": hy_edge,
+            "connectivity": hy_conn,
+            "feasible": hyper_feasible,
+        },
+    })
+}
+
+fn hyper_workloads(smoke: bool, reps: usize) -> Vec<serde_json::Value> {
+    // (stars, fanout, k)
+    let shapes: &[(usize, usize, usize)] = if smoke {
+        &[(8, 4, 4)]
+    } else {
+        &[(16, 4, 4), (32, 8, 8), (128, 8, 8), (256, 16, 16)]
+    };
+    shapes
+        .iter()
+        .map(|&(stars, fanout, k)| measure_hyper(stars, fanout, k, 99, reps))
+        .collect()
 }
 
 fn main() {
@@ -245,11 +399,15 @@ fn main() {
         "\nlargest workload refinement speedup: {largest_speedup:.2}x (reference vs boundary-driven)"
     );
 
+    println!("\nedge-cut vs connectivity objective on multicast networks:");
+    let hyper_rows = hyper_workloads(smoke, reps);
+
     let doc = serde_json::json!({
-        "schema": 1,
+        "schema": 2,
         "mode": if smoke { "smoke" } else { "full" },
         "threads": threads,
         "workloads": measured,
+        "hyper_workloads": hyper_rows,
     });
     // the bench crate lives at crates/bench: the repo root is two up
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gp.json");

@@ -1,11 +1,18 @@
 //! `gp` — command-line constrained k-way partitioner.
 //!
 //! ```text
-//! gp partition --input graph.metis --k 4 --rmax 165 --bmax 16 [--format metis|matrix|json]
-//!              [--seed N] [--baseline] [--dot out.dot] [--out partition.json]
-//! gp demo [1|2|3]      # run a paper experiment instance
+//! gp partition --input graph.metis --k 4 --rmax 165 --bmax 16 [--format metis|matrix|json|ppn]
+//!              [--model edge|hyper] [--seed N] [--baseline] [--dot out.dot] [--out partition.json]
+//! gp demo [1|2|3]      # run a paper experiment instance (GP, baseline, hyper)
 //! gp gen --nodes N --edges M --seed S > graph.metis
+//! gp gen --multicast --stars S --fanout F [--seed N] > net.ppn.json
 //! ```
+//!
+//! `--model hyper` partitions under the connectivity metric: channels
+//! become hypergraph nets and a multicast stream's bandwidth is charged
+//! once per spanned FPGA boundary. `--format ppn` reads a
+//! `ProcessNetwork` JSON (as written by `gp gen --multicast`), the only
+//! format that carries multicast structure.
 
 use gp_core::{GpParams, GpPartitioner};
 use metis_lite::MetisOptions;
@@ -13,11 +20,13 @@ use ppn_graph::io::dot::{to_dot, DotOptions};
 use ppn_graph::io::{json, matrix, metis};
 use ppn_graph::metrics::PartitionQuality;
 use ppn_graph::{Constraints, WeightedGraph};
+use ppn_hyper::{hyper_partition, HyperParams, HyperQuality, Hypergraph};
+use ppn_model::{lower_to_graph, lower_to_hypergraph, LoweringOptions, ProcessNetwork};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  gp partition --input FILE --k K --rmax R --bmax B \\\n      [--format metis|matrix|json] [--seed N] [--baseline] [--dot FILE] [--out FILE]\n  gp demo [1|2|3]\n  gp gen --nodes N --edges M [--seed S]"
+        "usage:\n  gp partition --input FILE --k K --rmax R --bmax B \\\n      [--format metis|matrix|json|ppn] [--model edge|hyper] [--seed N] [--baseline] \\\n      [--dot FILE] [--out FILE]\n  gp demo [1|2|3]\n  gp gen --nodes N --edges M [--seed S]\n  gp gen --multicast --stars S --fanout F [--seed N]"
     );
     ExitCode::from(2)
 }
@@ -32,15 +41,34 @@ fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
-fn load_graph(path: &str, format: &str) -> Result<WeightedGraph, String> {
+/// The partitionable forms of an input file: the edge-cut graph always,
+/// plus the hypergraph only when asked for (`ppn` nets keep their
+/// multicast pins; graph formats degrade to 2-pin nets).
+struct LoadedInstance {
+    graph: WeightedGraph,
+    hyper: Option<Hypergraph>,
+}
+
+fn load_instance(path: &str, format: &str, want_hyper: bool) -> Result<LoadedInstance, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if format == "ppn" {
+        let net: ProcessNetwork =
+            serde_json::from_str(&text).map_err(|e| format!("{path}: bad PPN JSON: {e}"))?;
+        net.validate()?;
+        let opts = LoweringOptions::default();
+        return Ok(LoadedInstance {
+            graph: lower_to_graph(&net, &opts),
+            hyper: want_hyper.then(|| lower_to_hypergraph(&net, &opts)),
+        });
+    }
     let g = match format {
         "metis" => metis::parse(&text).map_err(|e| e.to_string())?,
         "matrix" => matrix::parse(&text).map_err(|e| e.to_string())?,
         "json" => json::graph_from_json(&text).map_err(|e| e.to_string())?,
         other => return Err(format!("unknown format `{other}`")),
     };
-    Ok(g)
+    let hyper = want_hyper.then(|| Hypergraph::from_graph(&g));
+    Ok(LoadedInstance { graph: g, hyper })
 }
 
 fn cmd_partition(args: &[String]) -> ExitCode {
@@ -53,24 +81,47 @@ fn cmd_partition(args: &[String]) -> ExitCode {
         return usage();
     };
     let format = arg_value(args, "--format").unwrap_or_else(|| "metis".into());
+    let model = arg_value(args, "--model").unwrap_or_else(|| "edge".into());
+    if model != "edge" && model != "hyper" {
+        eprintln!("error: unknown model `{model}` (expected edge|hyper)");
+        return usage();
+    }
     let seed = arg_value(args, "--seed")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0xCA77Au64);
-    let g = match load_graph(&input, &format) {
-        Ok(g) => g,
+    let inst = match load_instance(&input, &format, model == "hyper") {
+        Ok(i) => i,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let g = &inst.graph;
     let constraints = Constraints::new(rmax, bmax);
 
-    let (partition, feasible) = if has_flag(args, "--baseline") {
-        let r = metis_lite::kway_partition(&g, k, &MetisOptions::default().with_seed(seed));
-        let ok = constraints.is_feasible(&g, &r.partition);
+    let (partition, feasible) = if model == "hyper" {
+        if has_flag(args, "--baseline") {
+            eprintln!("error: --baseline applies to the edge model only");
+            return usage();
+        }
+        match hyper_partition(
+            inst.hyper.as_ref().expect("hyper model loads a hypergraph"),
+            k,
+            &constraints,
+            &HyperParams::default().with_seed(seed),
+        ) {
+            Ok(r) => (r.partition, true),
+            Err(e) => {
+                eprintln!("warning: {e}");
+                (e.best.partition.clone(), false)
+            }
+        }
+    } else if has_flag(args, "--baseline") {
+        let r = metis_lite::kway_partition(g, k, &MetisOptions::default().with_seed(seed));
+        let ok = constraints.is_feasible(g, &r.partition);
         (r.partition, ok)
     } else {
-        match GpPartitioner::new(GpParams::default().with_seed(seed)).partition(&g, k, &constraints)
+        match GpPartitioner::new(GpParams::default().with_seed(seed)).partition(g, k, &constraints)
         {
             Ok(r) => (r.partition, true),
             Err(e) => {
@@ -80,21 +131,39 @@ fn cmd_partition(args: &[String]) -> ExitCode {
         }
     };
 
-    let q = PartitionQuality::measure(&g, &partition);
-    let rep = constraints.check_quality(&q);
-    println!(
-        "nodes={} edges={} k={k} cut={} max_resource={} max_local_bandwidth={} => {}",
-        g.num_nodes(),
-        g.num_edges(),
-        q.total_cut,
-        q.max_resource,
-        q.max_local_bandwidth,
-        rep.summary()
-    );
+    if model == "hyper" {
+        let hg = inst.hyper.as_ref().expect("hyper model loads a hypergraph");
+        let hq = HyperQuality::measure(hg, &partition);
+        let rep = hq.check(&constraints);
+        let edge_cut = PartitionQuality::measure(g, &partition).total_cut;
+        println!(
+            "nodes={} nets={} k={k} conn_cost={} cut_nets={} edge_cut_model={} max_resource={} max_local_bandwidth={} => {}",
+            hg.num_nodes(),
+            hg.num_nets(),
+            hq.connectivity_cost,
+            hq.cut_nets,
+            edge_cut,
+            hq.max_resource,
+            hq.max_local_bandwidth,
+            rep.summary()
+        );
+    } else {
+        let q = PartitionQuality::measure(g, &partition);
+        let rep = constraints.check_quality(&q);
+        println!(
+            "nodes={} edges={} k={k} cut={} max_resource={} max_local_bandwidth={} => {}",
+            g.num_nodes(),
+            g.num_edges(),
+            q.total_cut,
+            q.max_resource,
+            q.max_local_bandwidth,
+            rep.summary()
+        );
+    }
 
     if let Some(path) = arg_value(args, "--dot") {
         let dot = to_dot(
-            &g,
+            g,
             &DotOptions {
                 partition: Some(partition.clone()),
                 ..DotOptions::default()
@@ -157,10 +226,50 @@ fn cmd_demo(args: &[String]) -> ExitCode {
             rep.summary()
         );
     }
+    // the connectivity-metric engine on the same instance (2-pin nets:
+    // both objectives coincide, so this doubles as a live equivalence
+    // check of the hypergraph subsystem)
+    let hg = Hypergraph::from_graph(&e.graph);
+    let partition = match hyper_partition(&hg, e.k, &e.constraints, &HyperParams::default()) {
+        Ok(r) => r.partition,
+        Err(b) => b.best.partition.clone(),
+    };
+    let hq = HyperQuality::measure(&hg, &partition);
+    let rep = hq.check(&e.constraints);
+    println!(
+        "  {:<8} cut={:<4} max_res={:<4} max_bw={:<3} {}",
+        "hyper",
+        hq.connectivity_cost,
+        hq.max_resource,
+        hq.max_local_bandwidth,
+        rep.summary()
+    );
     ExitCode::SUCCESS
 }
 
 fn cmd_gen(args: &[String]) -> ExitCode {
+    if has_flag(args, "--multicast") {
+        let stars = arg_value(args, "--stars")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8usize);
+        let fanout = arg_value(args, "--fanout")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4usize);
+        let seed = arg_value(args, "--seed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1u64);
+        if fanout < 2 {
+            eprintln!("error: --fanout must be at least 2");
+            return usage();
+        }
+        if stars < 2 {
+            eprintln!("error: --multicast needs --stars of at least 2 (ring cover)");
+            return usage();
+        }
+        let net = ppn_gen::multicast_network(&ppn_gen::MulticastSpec::ring(stars, fanout, seed));
+        println!("{}", serde_json::to_string(&net).unwrap());
+        return ExitCode::SUCCESS;
+    }
     let nodes = arg_value(args, "--nodes")
         .and_then(|v| v.parse().ok())
         .unwrap_or(12usize);

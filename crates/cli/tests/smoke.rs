@@ -107,13 +107,135 @@ fn baseline_flag_runs_metis_lite() {
 }
 
 #[test]
-fn demo_subcommand_prints_both_partitioners() {
+fn demo_subcommand_prints_all_partitioners() {
     let run = gp().args(["demo", "1"]).output().unwrap();
     assert!(run.status.success());
     let stdout = String::from_utf8_lossy(&run.stdout);
     assert!(stdout.contains("experiment 1"), "got: {stdout}");
     assert!(stdout.contains("baseline"), "got: {stdout}");
     assert!(stdout.contains("gp"), "got: {stdout}");
+    assert!(stdout.contains("hyper"), "got: {stdout}");
+}
+
+#[test]
+fn multicast_gen_then_hyper_partition_end_to_end() {
+    let dir = temp_dir("hyper");
+    let net_path = dir.join("net.ppn.json");
+    let out_path = dir.join("partition.json");
+
+    // 1. generate a multicast star network as PPN JSON
+    let gen = gp()
+        .args([
+            "gen",
+            "--multicast",
+            "--stars",
+            "8",
+            "--fanout",
+            "4",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("failed to run gp gen --multicast");
+    assert!(gen.status.success(), "gp gen --multicast failed: {gen:?}");
+    std::fs::write(&net_path, &gen.stdout).unwrap();
+
+    // 2. partition it under the connectivity model — generous Rmax,
+    //    tight-ish Bmax that only the once-per-boundary charging meets
+    let run = gp()
+        .args([
+            "partition",
+            "--input",
+            net_path.to_str().unwrap(),
+            "--format",
+            "ppn",
+            "--model",
+            "hyper",
+            "--k",
+            "4",
+            "--rmax",
+            "300",
+            "--bmax",
+            "30",
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("failed to run gp partition --model hyper");
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(
+        run.status.success(),
+        "hyper partition exited nonzero\nstdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    assert!(stdout.contains("conn_cost="), "summary missing: {stdout}");
+    assert!(stdout.contains("feasible"), "must be feasible: {stdout}");
+
+    // 3. the partition artifact covers every process
+    let json_text = std::fs::read_to_string(&out_path).unwrap();
+    let p = ppn_graph::io::json::partition_from_json(&json_text).unwrap();
+    assert_eq!(p.len(), 8 + 8 * 3);
+    assert!(p.is_complete());
+
+    // 4. the same PPN also partitions under the edge model
+    let run = gp()
+        .args([
+            "partition",
+            "--input",
+            net_path.to_str().unwrap(),
+            "--format",
+            "ppn",
+            "--k",
+            "4",
+            "--rmax",
+            "300",
+            "--bmax",
+            "100000",
+        ])
+        .output()
+        .unwrap();
+    assert!(run.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hyper_model_works_on_graph_formats() {
+    let dir = temp_dir("hyper-metis");
+    let graph_path = dir.join("graph.metis");
+    let gen = gp()
+        .args(["gen", "--nodes", "16", "--edges", "40", "--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    std::fs::write(&graph_path, &gen.stdout).unwrap();
+    let run = gp()
+        .args([
+            "partition",
+            "--input",
+            graph_path.to_str().unwrap(),
+            "--model",
+            "hyper",
+            "--k",
+            "4",
+            "--rmax",
+            "100000",
+            "--bmax",
+            "100000",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(
+        run.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    assert!(
+        stdout.contains("nets=40"),
+        "2-pin degeneration expected: {stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -116,6 +116,26 @@ impl GpHierarchy {
     }
 }
 
+/// Per-level coarsening statistics reported to the observer of
+/// [`gp_coarsen_observed`] — what the perf harness records per PR.
+#[derive(Clone, Debug)]
+pub struct LevelTiming {
+    /// Level index (0 = finest).
+    pub level: usize,
+    /// Nodes of the finer graph.
+    pub fine_nodes: usize,
+    /// Edges of the finer graph.
+    pub fine_edges: usize,
+    /// Nodes after contraction.
+    pub coarse_nodes: usize,
+    /// Which heuristic won the tournament.
+    pub matching_kind: MatchingKind,
+    /// Seconds spent in the matching tournament.
+    pub matching_s: f64,
+    /// Seconds spent contracting.
+    pub contract_s: f64,
+}
+
 /// Build a GP hierarchy down to `coarsen_to` nodes, choosing the best of
 /// the configured matchings at every level.
 pub fn gp_coarsen(
@@ -124,16 +144,41 @@ pub fn gp_coarsen(
     coarsen_to: usize,
     seed: u64,
 ) -> GpHierarchy {
+    gp_coarsen_observed(g, kinds, coarsen_to, seed, &mut |_| {})
+}
+
+/// [`gp_coarsen`] with a per-level observer: identical hierarchy (the
+/// observer sees the real loop, so timing instrumentation can never
+/// drift from what the partitioner runs).
+pub fn gp_coarsen_observed(
+    g: &WeightedGraph,
+    kinds: &[MatchingKind],
+    coarsen_to: usize,
+    seed: u64,
+    observe: &mut dyn FnMut(&LevelTiming),
+) -> GpHierarchy {
     let mut levels = Vec::new();
     let mut current = g.clone();
     let mut round = 0u64;
     while current.num_nodes() > coarsen_to {
+        let t0 = std::time::Instant::now();
         let (kind, m) = best_matching(kinds, &current, derive_seed(seed, 0x6C + round));
+        let matching_s = t0.elapsed().as_secs_f64();
         let coarse_nodes = m.coarse_node_count();
         if coarse_nodes as f64 > current.num_nodes() as f64 * 0.95 {
             break; // stalled (e.g. star graphs)
         }
+        let t1 = std::time::Instant::now();
         let (coarse, map) = contract(&current, &m);
+        observe(&LevelTiming {
+            level: round as usize,
+            fine_nodes: current.num_nodes(),
+            fine_edges: current.num_edges(),
+            coarse_nodes: coarse.num_nodes(),
+            matching_kind: kind,
+            matching_s,
+            contract_s: t1.elapsed().as_secs_f64(),
+        });
         levels.push(GpLevel {
             fine: current,
             map,

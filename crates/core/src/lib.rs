@@ -48,7 +48,9 @@ pub mod refine;
 pub mod refine_reference;
 pub mod report;
 
-pub use coarsen::{best_matching, gp_coarsen, GpHierarchy, GpLevel};
+pub use coarsen::{
+    best_matching, gp_coarsen, gp_coarsen_observed, GpHierarchy, GpLevel, LevelTiming,
+};
 pub use cycle::gp_partition;
 pub use initial::{greedy_initial_partition, InitialOptions};
 pub use kmeans::kmeans_matching;

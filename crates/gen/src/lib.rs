@@ -6,6 +6,9 @@
 //!   counts) and layered random process networks;
 //! * [`community`] — planted-partition graphs with known cluster
 //!   structure (scaling studies);
+//! * [`multicast`] — fan-out-heavy star/broadcast networks whose
+//!   multicast streams the edge-cut model mis-costs (the hypergraph
+//!   subsystem's scenario family);
 //! * [`paper`] — the three 12-node experiment instances of the paper's
 //!   evaluation (§V), reconstructed from the published node/edge counts,
 //!   weight scales and constraints — the exact adjacency was never
@@ -13,9 +16,11 @@
 //!   reproduce the paper's qualitative outcome (see DESIGN.md §3).
 
 pub mod community;
+pub mod multicast;
 pub mod paper;
 pub mod random;
 
 pub use community::{community_graph, dense_community_graph};
+pub use multicast::{multicast_network, MulticastSpec};
 pub use paper::{all_experiments, experiment1, experiment2, experiment3, Experiment, PaperRow};
 pub use random::{random_graph, random_layered_ppn, RandomGraphSpec};

@@ -1,0 +1,143 @@
+//! Fan-out-heavy multicast process networks — the scenario family the
+//! edge-cut model mis-costs.
+//!
+//! Each *star* is one producer broadcasting a single token stream to
+//! `fanout` consumers drawn from a shared consumer pool. Consecutive
+//! stars overlap in the pool (stride `fanout − 1`), so consumers are
+//! contested between streams and any k-way partition must split some
+//! star across parts. The edge-cut lowering charges a split star once
+//! per stranded consumer; the hypergraph lowering charges it once per
+//! spanned boundary — on these instances the two objectives diverge by
+//! up to a factor of `fanout`, which is what the bench tables measure.
+
+use ppn_graph::prng::XorShift128Plus;
+use ppn_model::{ProcessId, ProcessNetwork};
+
+/// Specification of a multicast star network.
+#[derive(Clone, Debug)]
+pub struct MulticastSpec {
+    /// Number of producer hubs (each roots one multicast stream).
+    pub stars: usize,
+    /// Consumers per stream (≥ 2).
+    pub fanout: usize,
+    /// Size of the shared consumer pool. With the default wiring
+    /// (stride `fanout − 1`) full coverage needs
+    /// `stars · (fanout − 1) ≥ consumers`.
+    pub consumers: usize,
+    /// Stream volumes drawn uniformly from this inclusive range.
+    pub volume: (u64, u64),
+    /// Seed.
+    pub seed: u64,
+}
+
+impl MulticastSpec {
+    /// A closed-ring cover: `stars` producers over
+    /// `stars · (fanout − 1)` consumers, every consumer reached by
+    /// exactly one stream body and each boundary consumer shared by two
+    /// adjacent streams.
+    pub fn ring(stars: usize, fanout: usize, seed: u64) -> Self {
+        assert!(fanout >= 2, "fanout must be at least 2");
+        assert!(
+            stars >= 2,
+            "ring cover needs at least 2 stars (got {stars})"
+        );
+        MulticastSpec {
+            stars,
+            fanout,
+            consumers: stars * (fanout - 1),
+            volume: (4, 12),
+            seed,
+        }
+    }
+}
+
+/// Generate the star/broadcast network of `spec`. Producers are
+/// processes `0..stars`, consumers `stars..stars+consumers`; star `i`
+/// multicasts to the `fanout` pool slots starting at `i · (fanout − 1)`
+/// (wrapping), so adjacent stars contend for their boundary consumers.
+/// Deterministic per seed; resource weights and volumes vary.
+pub fn multicast_network(spec: &MulticastSpec) -> ProcessNetwork {
+    assert!(spec.stars >= 1 && spec.fanout >= 2 && spec.consumers >= spec.fanout);
+    let (vlo, vhi) = spec.volume;
+    assert!(vlo >= 1 && vhi >= vlo);
+    let mut rng = XorShift128Plus::new(spec.seed);
+    let mut net = ProcessNetwork::new();
+    let producers: Vec<ProcessId> = (0..spec.stars)
+        .map(|i| {
+            let luts = 30 + rng.next_below(40) as u64;
+            net.add_simple_process(format!("prod{i}"), luts, 1, 64)
+        })
+        .collect();
+    let consumers: Vec<ProcessId> = (0..spec.consumers)
+        .map(|i| {
+            let luts = 15 + rng.next_below(30) as u64;
+            net.add_simple_process(format!("cons{i}"), luts, 1, 64)
+        })
+        .collect();
+    for (i, &p) in producers.iter().enumerate() {
+        let mut targets: Vec<ProcessId> = (0..spec.fanout)
+            .map(|j| consumers[(i * (spec.fanout - 1) + j) % spec.consumers])
+            .collect();
+        targets.dedup();
+        let volume = vlo + rng.next_below((vhi - vlo + 1) as usize) as u64;
+        net.add_multicast_channel(p, &targets, volume, 8);
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppn_graph::algo::components::is_connected;
+    use ppn_model::{lower_to_graph, lower_to_hypergraph, LoweringOptions};
+
+    #[test]
+    fn ring_spec_covers_every_consumer() {
+        let net = multicast_network(&MulticastSpec::ring(6, 4, 3));
+        assert_eq!(net.num_processes(), 6 + 18);
+        assert_eq!(net.num_channels(), 6);
+        assert!(net.has_multicast());
+        net.validate().unwrap();
+        assert!(net.is_acyclic());
+        // every consumer is reached by at least one stream
+        for c in 6..24u32 {
+            assert!(
+                !net.inputs_of(ProcessId(c)).is_empty(),
+                "consumer {c} unreached"
+            );
+        }
+    }
+
+    #[test]
+    fn lowered_graph_is_connected() {
+        let net = multicast_network(&MulticastSpec::ring(8, 3, 11));
+        let g = lower_to_graph(&net, &LoweringOptions::default());
+        assert!(is_connected(&g), "ring cover must connect the network");
+    }
+
+    #[test]
+    fn edge_cut_model_inflates_fanout() {
+        let net = multicast_network(&MulticastSpec::ring(5, 4, 9));
+        let g = lower_to_graph(&net, &LoweringOptions::default());
+        let hg = lower_to_hypergraph(&net, &LoweringOptions::default());
+        // the graph carries fanout× the hypergraph's total bandwidth
+        assert_eq!(g.total_edge_weight(), 4 * hg.total_net_weight());
+        assert_eq!(hg.num_nets(), 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = multicast_network(&MulticastSpec::ring(7, 3, 42));
+        let b = multicast_network(&MulticastSpec::ring(7, 3, 42));
+        assert_eq!(a, b);
+        let c = multicast_network(&MulticastSpec::ring(7, 3, 43));
+        assert_ne!(a, c, "different seeds should vary weights");
+    }
+
+    #[test]
+    fn multicast_network_simulates_to_completion() {
+        let net = multicast_network(&MulticastSpec::ring(4, 3, 5));
+        let r = ppn_model::simulate(&net, &ppn_model::SimOptions::default());
+        assert!(r.completed, "broadcast stars must run: {r:?}");
+    }
+}

@@ -1,0 +1,276 @@
+//! Greedy resource-bounded initial partitioning on the coarsest
+//! hypergraph, with restarts.
+//!
+//! The same shape as `gp_core::initial`: grow each part from a seed node
+//! by absorbing the unassigned node with the heaviest *net connection*
+//! into the part (summed bandwidth of nets with at least one pin already
+//! inside, each net counted once) while `Rmax` holds; sweep leftovers
+//! best-fit; overflow into the freest part when nothing fits; repair
+//! with constrained refinement. Restarts (first from the heaviest node,
+//! then from random seeds) are compared with the goodness order.
+
+use crate::hypergraph::{Hypergraph, NetId};
+use crate::metrics::HyperQuality;
+use crate::refine::{hyper_refine, HyperRefineOptions};
+use ppn_graph::prng::{derive_seed, XorShift128Plus};
+use ppn_graph::{Constraints, NodeId, Partition};
+
+/// Options for [`greedy_hyper_initial`].
+#[derive(Clone, Debug)]
+pub struct HyperInitialOptions {
+    /// Number of restarts.
+    pub restarts: usize,
+    /// Refinement repair passes after the greedy allocation.
+    pub repair_passes: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for HyperInitialOptions {
+    fn default() -> Self {
+        HyperInitialOptions {
+            restarts: 10,
+            repair_passes: 8,
+            seed: 77,
+        }
+    }
+}
+
+/// Assign `v` to the part being grown and propagate gains: the first
+/// pin a net places in the part adds its weight to every still-
+/// unassigned pin of that net (the frontier). O(pins of v's first-time
+/// nets); later pins of the same net cost O(1).
+#[allow(clippy::too_many_arguments)]
+fn absorb(
+    hg: &Hypergraph,
+    p: &mut Partition,
+    v: NodeId,
+    part: u32,
+    part_weight: &mut [u64],
+    net_in_part: &mut [u32],
+    touched_nets: &mut Vec<u32>,
+    gain: &mut [u64],
+    frontier: &mut Vec<u32>,
+) {
+    p.assign(v, part);
+    part_weight[part as usize] += hg.node_weight(v);
+    for &e in hg.nets_of(v) {
+        if net_in_part[e as usize] == 0 {
+            touched_nets.push(e);
+            let w = hg.net_weight(NetId(e));
+            for &pin in hg.pins(NetId(e)) {
+                if !p.is_assigned(NodeId(pin)) {
+                    if gain[pin as usize] == 0 {
+                        frontier.push(pin);
+                    }
+                    gain[pin as usize] += w;
+                }
+            }
+        }
+        net_in_part[e as usize] += 1;
+    }
+}
+
+/// One greedy allocation from a given seed node.
+fn grow_from(hg: &Hypergraph, k: usize, c: &Constraints, first: NodeId) -> Partition {
+    let n = hg.num_nodes();
+    let mut p = Partition::unassigned(n, k);
+    let mut part_weight = vec![0u64; k];
+    // per-part scratch, cleared between parts via the touched lists:
+    // pins each net already has inside the growing part, the gain of
+    // every candidate (summed weight of its nets touching the part),
+    // and the frontier of candidates with non-zero gain
+    let mut net_in_part = vec![0u32; hg.num_nets()];
+    let mut touched_nets: Vec<u32> = Vec::new();
+    let mut gain = vec![0u64; n];
+    let mut frontier: Vec<u32> = Vec::new();
+
+    let mut by_weight: Vec<NodeId> = hg.node_ids().collect();
+    by_weight.sort_by_key(|&v| std::cmp::Reverse((hg.node_weight(v), std::cmp::Reverse(v.0))));
+
+    let mut next_seed = Some(first);
+    for part in 0..k as u32 {
+        for &e in &touched_nets {
+            net_in_part[e as usize] = 0;
+        }
+        touched_nets.clear();
+        for &u in &frontier {
+            gain[u as usize] = 0;
+        }
+        frontier.clear();
+        let seed_node = match next_seed.take().filter(|&v| !p.is_assigned(v)) {
+            Some(v) => Some(v),
+            None => by_weight.iter().copied().find(|&v| !p.is_assigned(v)),
+        };
+        let Some(seed_node) = seed_node else { break };
+        absorb(
+            hg,
+            &mut p,
+            seed_node,
+            part,
+            &mut part_weight,
+            &mut net_in_part,
+            &mut touched_nets,
+            &mut gain,
+            &mut frontier,
+        );
+
+        // absorb the heaviest-connected unassigned node while Rmax holds
+        loop {
+            frontier.retain(|&u| !p.is_assigned(NodeId(u)));
+            let mut best: Option<(u64, u32)> = None;
+            for &u in &frontier {
+                let g = gain[u as usize];
+                match best {
+                    Some((bw, bu)) if (bw, std::cmp::Reverse(bu)) >= (g, std::cmp::Reverse(u)) => {}
+                    _ => best = Some((g, u)),
+                }
+            }
+            let Some((_, u)) = best else { break };
+            let u = NodeId(u);
+            if part_weight[part as usize] + hg.node_weight(u) > c.rmax {
+                break; // stop growing this part at Rmax
+            }
+            absorb(
+                hg,
+                &mut p,
+                u,
+                part,
+                &mut part_weight,
+                &mut net_in_part,
+                &mut touched_nets,
+                &mut gain,
+                &mut frontier,
+            );
+        }
+    }
+
+    // best-fit sweep for leftovers (largest free space first)
+    for v in p.unassigned_nodes() {
+        let wv = hg.node_weight(v);
+        let fitting = (0..k)
+            .filter(|&q| part_weight[q] + wv <= c.rmax)
+            .max_by_key(|&q| (c.rmax - part_weight[q], std::cmp::Reverse(q)));
+        let target = fitting.unwrap_or_else(|| {
+            (0..k)
+                .max_by_key(|&q| (c.rmax.saturating_sub(part_weight[q]), std::cmp::Reverse(q)))
+                .unwrap()
+        });
+        p.assign(v, target as u32);
+        part_weight[target] += wv;
+    }
+    debug_assert!(p.is_complete());
+    p
+}
+
+/// Greedy initial partitioning with restarts; returns the best
+/// partition under the goodness order `(violation count, magnitude,
+/// connectivity cost, restart index)`.
+pub fn greedy_hyper_initial(
+    hg: &Hypergraph,
+    k: usize,
+    c: &Constraints,
+    opts: &HyperInitialOptions,
+) -> Partition {
+    assert!(k >= 1);
+    assert!(hg.num_nodes() > 0, "cannot partition an empty hypergraph");
+    let restarts = opts.restarts.max(1);
+    let mut best: Option<((u64, u64, u64, usize), Partition)> = None;
+    for r in 0..restarts {
+        let seed = derive_seed(opts.seed, r as u64);
+        let first = if r == 0 {
+            hg.node_ids()
+                .max_by_key(|&v| (hg.node_weight(v), std::cmp::Reverse(v.0)))
+                .expect("non-empty hypergraph")
+        } else {
+            let mut rng = XorShift128Plus::new(seed);
+            NodeId::from_index(rng.next_below(hg.num_nodes()))
+        };
+        let mut p = grow_from(hg, k, c, first);
+        hyper_refine(
+            hg,
+            &mut p,
+            c,
+            &HyperRefineOptions {
+                max_passes: opts.repair_passes,
+                seed,
+                protect_nonempty: true,
+            },
+        );
+        let (count, magnitude, cost) = HyperQuality::measure(hg, &p).goodness_key(c.rmax, c.bmax);
+        let key = (count, magnitude, cost, r);
+        if best.as_ref().map(|(bk, _)| key < *bk).unwrap_or(true) {
+            best = Some((key, p));
+        }
+    }
+    best.expect("at least one restart").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergraph::HypergraphBuilder;
+    use crate::metrics::is_feasible;
+
+    /// Four 3-pin cluster nets bridged by light 2-pin nets — the natural
+    /// 4-way split cuts only the bridges.
+    fn clusters() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let n: Vec<_> = (0..12)
+            .map(|i| b.add_node(20 + (i as u64 * 7) % 30))
+            .collect();
+        for c in 0..4 {
+            let base = c * 3;
+            b.add_net(12, &[n[base], n[base + 1], n[base + 2]]);
+        }
+        for c in 0..3 {
+            b.add_net(3, &[n[c * 3 + 2], n[(c + 1) * 3]]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn produces_complete_partition() {
+        let hg = clusters();
+        let c = Constraints::new(120, 30);
+        let p = greedy_hyper_initial(&hg, 4, &c, &HyperInitialOptions::default());
+        assert!(p.is_complete());
+        assert_eq!(p.k(), 4);
+    }
+
+    #[test]
+    fn respects_rmax_when_feasible() {
+        let hg = clusters();
+        let c = Constraints::new(150, 100);
+        let p = greedy_hyper_initial(&hg, 4, &c, &HyperInitialOptions::default());
+        assert!(is_feasible(&hg, &p, &c));
+    }
+
+    #[test]
+    fn overflows_gracefully_when_infeasible() {
+        let hg = clusters();
+        let c = Constraints::new(10, 100); // below the heaviest node
+        let p = greedy_hyper_initial(&hg, 4, &c, &HyperInitialOptions::default());
+        assert!(
+            p.is_complete(),
+            "overflow path must still assign everything"
+        );
+    }
+
+    #[test]
+    fn single_part_takes_everything() {
+        let hg = clusters();
+        let c = Constraints::unconstrained();
+        let p = greedy_hyper_initial(&hg, 1, &c, &HyperInitialOptions::default());
+        assert!(p.assignment().iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let hg = clusters();
+        let c = Constraints::new(130, 40);
+        let a = greedy_hyper_initial(&hg, 4, &c, &HyperInitialOptions::default());
+        let b = greedy_hyper_initial(&hg, 4, &c, &HyperInitialOptions::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,157 @@
+//! Partition quality under the connectivity metric.
+
+use crate::connectivity::{BandwidthMatrix, NetConnectivity};
+use crate::hypergraph::Hypergraph;
+use ppn_graph::{ConstraintReport, Constraints, Partition};
+use serde::{Deserialize, Serialize};
+
+/// Summed node (resource) weight per part.
+pub fn part_weights(hg: &Hypergraph, p: &Partition) -> Vec<u64> {
+    assert_eq!(hg.num_nodes(), p.len(), "partition/hypergraph mismatch");
+    let mut w = vec![0u64; p.k()];
+    for v in hg.node_ids() {
+        let q = p.part_of(v);
+        if q != Partition::UNASSIGNED {
+            w[q as usize] += hg.node_weight(v);
+        }
+    }
+    w
+}
+
+/// Aggregate quality of a k-way partition of a hypergraph — the
+/// connectivity-metric analogue of [`ppn_graph::PartitionQuality`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HyperQuality {
+    /// `Σ w(e)·(λ(e) − 1)` — total boundary traffic under multicast-
+    /// aware charging.
+    pub connectivity_cost: u64,
+    /// Number of nets spanning more than one part.
+    pub cut_nets: usize,
+    /// Largest pairwise boundary traffic (what `Bmax` bounds).
+    pub max_local_bandwidth: u64,
+    /// Largest per-part resource usage (what `Rmax` bounds).
+    pub max_resource: u64,
+    /// Per-part resource usage.
+    pub part_resources: Vec<u64>,
+    /// Full per-boundary traffic matrix.
+    pub traffic: BandwidthMatrix,
+}
+
+impl HyperQuality {
+    /// Measure `p` on `hg` (fresh scan; hot paths keep a
+    /// [`NetConnectivity`] instead).
+    pub fn measure(hg: &Hypergraph, p: &Partition) -> Self {
+        let s = NetConnectivity::new(hg, p);
+        let part_resources = part_weights(hg, p);
+        HyperQuality {
+            connectivity_cost: s.connectivity_cost(),
+            cut_nets: s.cut_nets(),
+            max_local_bandwidth: s.traffic().max_local_bandwidth(),
+            max_resource: part_resources.iter().copied().max().unwrap_or(0),
+            part_resources,
+            traffic: s.traffic().clone(),
+        }
+    }
+
+    /// Lexicographic goodness key (lower is better): violated-constraint
+    /// count, violation magnitude, connectivity cost — the same shape as
+    /// `PartitionQuality::goodness_key`, with the connectivity objective
+    /// in the cut slot.
+    pub fn goodness_key(&self, rmax: u64, bmax: u64) -> (u64, u64, u64) {
+        let bw_viol = self.traffic.violations(bmax);
+        let res_viol: Vec<u64> = self
+            .part_resources
+            .iter()
+            .copied()
+            .filter(|&r| r > rmax)
+            .collect();
+        let count = bw_viol.len() as u64 + res_viol.len() as u64;
+        let magnitude =
+            self.traffic.violation_magnitude(bmax) + res_viol.iter().map(|r| r - rmax).sum::<u64>();
+        (count, magnitude, self.connectivity_cost)
+    }
+
+    /// Check against `Rmax`/`Bmax`, producing the same report type the
+    /// graph engine emits.
+    pub fn check(&self, c: &Constraints) -> ConstraintReport {
+        ConstraintReport {
+            rmax: c.rmax,
+            bmax: c.bmax,
+            resource_violations: self
+                .part_resources
+                .iter()
+                .enumerate()
+                .filter(|&(_, &r)| r > c.rmax)
+                .map(|(i, &r)| (i, r))
+                .collect(),
+            bandwidth_violations: self.traffic.violations(c.bmax),
+        }
+    }
+}
+
+/// True when `p` satisfies both constraints on `hg` under the
+/// connectivity bandwidth model.
+pub fn is_feasible(hg: &Hypergraph, p: &Partition, c: &Constraints) -> bool {
+    HyperQuality::measure(hg, p).check(c).is_feasible()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergraph::HypergraphBuilder;
+    use ppn_graph::NodeId;
+
+    fn star() -> Hypergraph {
+        // hub 0 (w 50) multicasting w-8 stream to 4 leaves (w 10)
+        let mut b = HypergraphBuilder::new();
+        let hub = b.add_node(50);
+        let leaves: Vec<_> = (0..4).map(|_| b.add_node(10)).collect();
+        let mut pins = vec![hub];
+        pins.extend(leaves);
+        b.add_net(8, &pins);
+        b.build()
+    }
+
+    #[test]
+    fn quality_measures_connectivity_not_pins() {
+        let hg = star();
+        // hub alone: one boundary, charged once — not once per leaf
+        let p = Partition::from_assignment(vec![0, 1, 1, 1, 1], 2).unwrap();
+        let q = HyperQuality::measure(&hg, &p);
+        assert_eq!(q.connectivity_cost, 8);
+        assert_eq!(q.cut_nets, 1);
+        assert_eq!(q.max_local_bandwidth, 8);
+        assert_eq!(q.max_resource, 50);
+        assert_eq!(q.part_resources, vec![50, 40]);
+    }
+
+    #[test]
+    fn check_reports_violations() {
+        let hg = star();
+        let p = Partition::from_assignment(vec![0, 1, 1, 1, 1], 2).unwrap();
+        let q = HyperQuality::measure(&hg, &p);
+        let rep = q.check(&Constraints::new(45, 7));
+        assert_eq!(rep.resource_violations, vec![(0, 50)]);
+        assert_eq!(rep.bandwidth_violations, vec![(0, 1, 8)]);
+        assert!(!rep.is_feasible());
+        assert!(is_feasible(&hg, &p, &Constraints::new(50, 8)));
+    }
+
+    #[test]
+    fn goodness_prefers_feasible() {
+        let hg = star();
+        let feasible = Partition::from_assignment(vec![0, 1, 1, 1, 1], 2).unwrap();
+        let violating = Partition::from_assignment(vec![0, 0, 0, 0, 1], 2).unwrap();
+        let qa = HyperQuality::measure(&hg, &feasible);
+        let qb = HyperQuality::measure(&hg, &violating);
+        assert!(qa.goodness_key(50, 8) < qb.goodness_key(50, 8));
+    }
+
+    #[test]
+    fn part_weights_skip_unassigned() {
+        let hg = star();
+        let mut p = Partition::unassigned(5, 2);
+        p.assign(NodeId(0), 1);
+        assert_eq!(part_weights(&hg, &p), vec![0, 50]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Clique-expansion equivalence: on hypergraphs whose nets all have
+//! exactly two pins, the connectivity metric degenerates to the edge
+//! cut, the per-boundary traffic matrix to the pairwise cut matrix, and
+//! the hyper partitioner's feasibility verdict must match `gp-core`'s.
+//! This anchors the new engine to the existing, paper-validated one.
+
+use gp_core::{gp_partition, GpParams};
+use ppn_graph::metrics::CutMatrix;
+use ppn_graph::prng::XorShift128Plus;
+use ppn_graph::{Constraints, NodeId, Partition, WeightedGraph};
+use ppn_hyper::{hyper_partition, HyperParams, HyperQuality, Hypergraph, NetConnectivity};
+use proptest::prelude::*;
+
+/// Random connected weighted graph strategy (the 2-pin-net source).
+fn arb_graph() -> impl Strategy<Value = WeightedGraph> {
+    (4usize..24, 0usize..30, any::<u64>())
+        .prop_map(|(n, extra, seed)| ppn_gen_like(n, n - 1 + extra, seed))
+}
+
+/// Connected random graph without depending on ppn-gen (spanning tree +
+/// random chords), deterministic per seed.
+fn ppn_gen_like(n: usize, m: usize, seed: u64) -> WeightedGraph {
+    let mut rng = XorShift128Plus::new(seed);
+    let mut g = WeightedGraph::new();
+    for _ in 0..n {
+        g.add_node(5 + rng.next_below(40) as u64);
+    }
+    for i in 1..n {
+        let parent = rng.next_below(i);
+        g.add_edge(
+            NodeId::from_index(i),
+            NodeId::from_index(parent),
+            1 + rng.next_below(9) as u64,
+        )
+        .unwrap();
+    }
+    let mut added = n - 1;
+    let mut guard = 0;
+    while added < m && guard < 50 * n {
+        guard += 1;
+        let a = rng.next_below(n);
+        let b = rng.next_below(n);
+        if a == b {
+            continue;
+        }
+        let (u, v) = (NodeId::from_index(a), NodeId::from_index(b));
+        if g.find_edge(u, v).is_some() {
+            continue;
+        }
+        g.add_edge(u, v, 1 + rng.next_below(9) as u64).unwrap();
+        added += 1;
+    }
+    g
+}
+
+fn random_partition(n: usize, k: usize, seed: u64) -> Partition {
+    let mut rng = XorShift128Plus::new(seed);
+    let assign: Vec<u32> = (0..n).map(|_| rng.next_below(k) as u32).collect();
+    Partition::from_assignment(assign, k).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn two_pin_connectivity_equals_edge_cut(g in arb_graph(), k in 2usize..5, pseed in any::<u64>()) {
+        let hg = Hypergraph::from_graph(&g);
+        hg.validate().unwrap();
+        let p = random_partition(g.num_nodes(), k, pseed);
+        let cut = CutMatrix::compute(&g, &p);
+        let q = HyperQuality::measure(&hg, &p);
+        prop_assert_eq!(q.connectivity_cost, cut.total_cut(), "conn-(λ-1) vs edge cut");
+        prop_assert_eq!(q.max_local_bandwidth, cut.max_local_bandwidth());
+        for a in 0..k {
+            for b in 0..k {
+                prop_assert_eq!(
+                    q.traffic.get(a, b), cut.get(a, b),
+                    "pair ({}, {})", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_pin_tracker_stays_exact_under_moves(g in arb_graph(), k in 2usize..5, mseed in any::<u64>()) {
+        let hg = Hypergraph::from_graph(&g);
+        let mut p = random_partition(g.num_nodes(), k, mseed);
+        let mut s = NetConnectivity::new(&hg, &p);
+        s.track_bmax(20);
+        let mut cut = CutMatrix::compute(&g, &p);
+        cut.track_bmax(20);
+        let mut rng = XorShift128Plus::new(mseed ^ 0xABCD);
+        for _ in 0..20 {
+            let v = NodeId::from_index(rng.next_below(g.num_nodes()));
+            let to = rng.next_below(k) as u32;
+            let from = p.part_of(v);
+            s.apply_move(&hg, v, from, to);
+            cut.apply_move(&g, &p, v, from, to);
+            p.assign(v, to);
+            prop_assert_eq!(s.connectivity_cost(), cut.total_cut());
+            prop_assert_eq!(s.tracked_excess(), cut.tracked_excess());
+        }
+    }
+
+    #[test]
+    fn feasibility_verdicts_match_gp_core(g in arb_graph(), k in 2usize..4) {
+        let hg = Hypergraph::from_graph(&g);
+        // generous constraints: both engines must report feasible
+        let generous = Constraints::new(
+            g.total_node_weight(),
+            g.total_edge_weight().max(1),
+        );
+        let hyper_ok = hyper_partition(&hg, k, &generous, &HyperParams::default()).is_ok();
+        let gp_ok = gp_partition(&g, k, &generous, &GpParams::default()).is_ok();
+        prop_assert_eq!(hyper_ok, gp_ok, "generous constraints");
+        prop_assert!(hyper_ok);
+
+        // provably impossible: Rmax below the heaviest node
+        let impossible = Constraints::new(
+            g.max_node_weight().saturating_sub(1),
+            g.total_edge_weight().max(1),
+        );
+        let hyper_bad = hyper_partition(&hg, k, &impossible, &HyperParams::default()).is_err();
+        let gp_bad = gp_partition(&g, k, &impossible, &GpParams::default()).is_err();
+        prop_assert_eq!(hyper_bad, gp_bad, "impossible constraints");
+        prop_assert!(hyper_bad);
+    }
+}

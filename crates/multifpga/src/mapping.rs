@@ -39,15 +39,26 @@ impl Mapping {
     }
 
     /// Traffic per FPGA pair: summed channel volume crossing `(a, b)`,
-    /// indexed `a * k + b` (symmetric, zero diagonal).
+    /// indexed `a * k + b` (symmetric, zero diagonal). A multicast
+    /// channel's stream leaves the producer's FPGA once per *destination
+    /// FPGA*, not once per consumer: the volume is charged on the pair
+    /// `(fpga(producer), q)` for each distinct consumer FPGA `q` — the
+    /// connectivity-metric charging of `ppn-hyper`. Point-to-point
+    /// channels behave exactly as before.
     pub fn traffic_matrix(&self, net: &ProcessNetwork) -> Vec<u64> {
         let mut m = vec![0u64; self.k * self.k];
+        let mut charged: Vec<usize> = Vec::new();
         for c in net.channel_ids() {
             let ch = net.channel(c);
-            let (a, b) = (self.fpga_of(ch.from.index()), self.fpga_of(ch.to.index()));
-            if a != b {
-                m[a * self.k + b] += ch.volume;
-                m[b * self.k + a] += ch.volume;
+            let a = self.fpga_of(ch.from.index());
+            charged.clear();
+            for consumer in ch.consumers() {
+                let b = self.fpga_of(consumer.index());
+                if b != a && !charged.contains(&b) {
+                    charged.push(b);
+                    m[a * self.k + b] += ch.volume;
+                    m[b * self.k + a] += ch.volume;
+                }
             }
         }
         m
@@ -192,6 +203,26 @@ mod tests {
         let rep = m.check(&net, &platform, 1);
         assert_eq!(rep.unlinked_pairs, vec![(0, 2, 10)]);
         assert!(!rep.is_feasible());
+    }
+
+    #[test]
+    fn multicast_traffic_charged_once_per_boundary() {
+        let mut net = ProcessNetwork::new();
+        let p = net.add_simple_process("p", 100, 1, 10);
+        let a = net.add_simple_process("a", 100, 1, 10);
+        let b = net.add_simple_process("b", 100, 1, 10);
+        let c = net.add_simple_process("c", 100, 1, 10);
+        net.add_multicast_channel(p, &[a, b, c], 60, 4);
+        // producer on 0; consumers a,b on 1; c on 2 — two boundaries
+        let part = Partition::from_assignment(vec![0, 1, 1, 2], 3).unwrap();
+        let m = Mapping::from_partition(&part);
+        let t = m.traffic_matrix(&net);
+        assert_eq!(t[1], 60, "both consumers on FPGA 1 share one stream");
+        assert_eq!(t[2], 60);
+        assert_eq!(t[3 + 2], 0, "no traffic between consumer FPGAs");
+        // the check path honours the same model
+        let platform = Platform::homogeneous(3, 400, 60);
+        assert!(m.check(&net, &platform, 1).is_feasible());
     }
 
     #[test]

@@ -62,12 +62,32 @@ fn quota(volume: u64, firings: u64, idx: u64) -> u64 {
 }
 
 /// Simulate `net` mapped onto `platform` by `mapping`.
+///
+/// Multicast channels are flattened first (each consumer gets its own
+/// FIFO cursor, see [`ProcessNetwork::expand_multicast_with_origin`]),
+/// but clones carrying the *same* stream to the *same* destination FPGA
+/// share one link transport: the stream crosses each boundary once,
+/// matching the once-per-boundary charging of
+/// [`Mapping::traffic_matrix`] and the `ppn-hyper` connectivity model.
+/// For multicast networks the per-channel vectors in the report are
+/// indexed by the expanded channel list.
 pub fn simulate_mapped(
     net: &ProcessNetwork,
     mapping: &Mapping,
     platform: &Platform,
     opts: &SystemOptions,
 ) -> SystemReport {
+    let expanded;
+    let origin;
+    let net = if net.has_multicast() {
+        let (flat, map) = net.expand_multicast_with_origin();
+        expanded = flat;
+        origin = map;
+        &expanded
+    } else {
+        origin = (0..net.num_channels() as u32).collect();
+        net
+    };
     net.validate().expect("network must validate");
     assert_eq!(mapping.assign.len(), net.num_processes());
     assert_eq!(mapping.k, platform.k());
@@ -101,6 +121,31 @@ pub fn simulate_mapped(
     let volume: Vec<u64> = (0..nc).map(|c| chan(c).volume).collect();
     let prod_f: Vec<u64> = (0..nc).map(|c| net.process(chan(c).from).firings).collect();
     let cons_f: Vec<u64> = (0..nc).map(|c| net.process(chan(c).to).firings).collect();
+
+    // transport groups: cross-FPGA legs of the same original stream
+    // with the same destination FPGA move in lockstep over one budget
+    // charge (their transit queues are identical by construction —
+    // same producer, same quota schedule)
+    let mut stream_groups: Vec<Vec<usize>> = Vec::new();
+    {
+        let mut by_key: std::collections::HashMap<(u32, usize), usize> =
+            std::collections::HashMap::new();
+        for c in 0..nc {
+            if cross[c].is_none() {
+                continue;
+            }
+            let dest = mapping.fpga_of(chan(c).to.index());
+            match by_key.entry((origin[c], dest)) {
+                std::collections::hash_map::Entry::Occupied(g) => {
+                    stream_groups[*g.get()].push(c);
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(stream_groups.len());
+                    stream_groups.push(vec![c]);
+                }
+            }
+        }
+    }
 
     let mut fifo: Vec<u64> = (0..nc).map(|c| chan(c).initial_tokens).collect();
     let mut transit: Vec<u64> = vec![0; nc];
@@ -136,21 +181,32 @@ pub fn simulate_mapped(
             }
         }
 
-        // 2. link transport: per-pair budget, round-robin over channels
+        // 2. link transport: per-pair budget, round-robin over stream
+        // groups; all legs of a group advance together (broadcast
+        // backpressure: the shared stream stalls until every receiver
+        // on that FPGA has space)
         let mut budget = vec![platform.bmax; k * k];
-        for step in 0..nc {
-            let c = (step + rr_offset) % nc;
-            let Some((a, b)) = cross[c] else { continue };
-            if transit[c] == 0 {
+        let ng = stream_groups.len();
+        for step in 0..ng {
+            let g = &stream_groups[(step + rr_offset) % ng];
+            let lead = g[0];
+            let (a, b) = cross[lead].expect("groups hold cross channels only");
+            debug_assert!(g.iter().all(|&c| transit[c] == transit[lead]));
+            if transit[lead] == 0 {
                 continue;
             }
-            let cap = chan(c).capacity;
-            let space = cap.saturating_sub(fifo[c] + reserved[c]);
+            let space = g
+                .iter()
+                .map(|&c| chan(c).capacity.saturating_sub(fifo[c] + reserved[c]))
+                .min()
+                .unwrap();
             let pair = a * k + b;
-            let move_n = transit[c].min(budget[pair]).min(space);
+            let move_n = transit[lead].min(budget[pair]).min(space);
             if move_n > 0 {
-                transit[c] -= move_n;
-                fifo[c] += move_n;
+                for &c in g {
+                    transit[c] -= move_n;
+                    fifo[c] += move_n;
+                }
                 budget[pair] -= move_n;
                 link_tokens[pair] += move_n;
                 link_tokens[b * k + a] += move_n;
@@ -357,5 +413,54 @@ mod tests {
         let r = simulate_mapped(&net, &m, &platform, &SystemOptions::default());
         assert_eq!(r.link_tokens[1], r.link_tokens[2]);
         assert_eq!(r.link_tokens[1], 30);
+    }
+
+    #[test]
+    fn multicast_network_completes_with_remote_consumers() {
+        // producer on FPGA 0 multicasting to one local and two remote
+        // consumers: every consumer sees the full stream, but the
+        // shared stream crosses the boundary exactly once — agreeing
+        // with Mapping::traffic_matrix's once-per-boundary charge
+        let mut net = ProcessNetwork::new();
+        let p = net.add_simple_process("p", 10, 1, 30);
+        let a = net.add_simple_process("a", 10, 1, 30);
+        let b = net.add_simple_process("b", 10, 1, 30);
+        let c = net.add_simple_process("c", 10, 1, 30);
+        net.add_multicast_channel(p, &[a, b, c], 30, 8);
+        let platform = Platform::homogeneous(2, 1000, 4);
+        let m = Mapping::from_partition(&Partition::from_assignment(vec![0, 0, 1, 1], 2).unwrap());
+        let r = simulate_mapped(&net, &m, &platform, &SystemOptions::default());
+        assert!(r.completed, "{r:?}");
+        assert_eq!(r.fired, vec![30, 30, 30, 30]);
+        assert_eq!(r.link_tokens[1], 30, "one stream, one boundary crossing");
+        assert_eq!(
+            r.link_tokens[1],
+            m.traffic_matrix(&net)[1],
+            "simulator and certifier must agree on the transport model"
+        );
+    }
+
+    #[test]
+    fn certified_multicast_mapping_sustains_its_bandwidth() {
+        // the reviewer scenario: two consumers behind one boundary,
+        // volume 60, bmax 60 — Mapping::check certifies it, so the
+        // simulator must show only bounded pipeline-fill slowdown, not
+        // the 2x serialisation a per-consumer transport would cause
+        let mut net = ProcessNetwork::new();
+        let p = net.add_simple_process("p", 10, 1, 60);
+        let a = net.add_simple_process("a", 10, 1, 60);
+        let b = net.add_simple_process("b", 10, 1, 60);
+        net.add_multicast_channel(p, &[a, b], 60, 8);
+        let platform = Platform::homogeneous(2, 1000, 60);
+        let m = Mapping::from_partition(&Partition::from_assignment(vec![0, 1, 1], 2).unwrap());
+        assert!(m.check(&net, &platform, 60).is_feasible());
+        let r = simulate_mapped(&net, &m, &platform, &SystemOptions::default());
+        assert!(r.completed, "{r:?}");
+        assert_eq!(r.link_tokens[1], 60);
+        assert!(
+            r.cycles <= 70,
+            "1 token/cycle against a 60-token link must not serialise: {}",
+            r.cycles
+        );
     }
 }

@@ -13,8 +13,10 @@
 //! * [`network`] — processes, FIFO channels and the [`ProcessNetwork`]
 //!   container with validation and structural queries;
 //! * [`lower`] — lowering a PPN to the undirected [`ppn_graph::WeightedGraph`]
-//!   consumed by the partitioners (node weight = resources, edge weight
-//!   = summed channel traffic);
+//!   consumed by the edge-cut partitioners (node weight = resources,
+//!   edge weight = summed channel traffic) and to the
+//!   [`ppn_hyper::Hypergraph`] consumed by the connectivity-metric
+//!   partitioner (one net per channel, multicast consumers as pins);
 //! * [`simulate`] — a deterministic bounded-FIFO dataflow simulator
 //!   (blocking reads/writes, Kahn semantics specialised to single-rate
 //!   firings) used to validate that feasible mappings actually sustain
@@ -25,7 +27,7 @@ pub mod network;
 pub mod resource;
 pub mod simulate;
 
-pub use lower::{lower_to_graph, LoweringOptions};
+pub use lower::{lower_to_graph, lower_to_hypergraph, LoweringOptions};
 pub use network::{Channel, ChannelId, Process, ProcessId, ProcessNetwork};
 pub use resource::ResourceVector;
 pub use simulate::{simulate, SimOptions, SimReport};

@@ -1,14 +1,26 @@
-//! Lowering a process network to the partitioning graph.
+//! Lowering a process network to the partitioning substrates.
 //!
-//! The partitioners operate on an undirected weighted graph (paper §I):
-//! node weight = the process's resource scalar; edge weight = the summed
-//! *volume* of every channel (either direction) between the two
-//! processes. Channel direction is irrelevant to the mapping problem —
-//! an inter-FPGA link is consumed by traffic either way — and self-loops
+//! Two lowerings share the same node model (node weight = the process's
+//! resource scalar) and differ in how channels become costs:
+//!
+//! * [`lower_to_graph`] — the paper's **edge-cut model**: one undirected
+//!   edge per producer–consumer pair, weighted by the summed channel
+//!   volume between them. A multicast channel contributes its *full*
+//!   volume to every consumer's edge, which double-counts the stream
+//!   when several consumers land on different FPGAs — the model error
+//!   the hypergraph substrate exists to fix.
+//! * [`lower_to_hypergraph`] — the **connectivity model**: one net per
+//!   channel, pinned by the producer (the net's root) and every
+//!   consumer, weighted by the channel volume. The connectivity-(λ−1)
+//!   objective then charges the stream once per spanned FPGA boundary.
+//!
+//! Channel direction is irrelevant to the mapping problem — an
+//! inter-FPGA link is consumed by traffic either way — and self-loops
 //! never leave an FPGA, so both disappear here.
 
 use crate::network::{ProcessId, ProcessNetwork};
 use ppn_graph::{NodeId, WeightedGraph};
+use ppn_hyper::{Hypergraph, HypergraphBuilder};
 
 /// Options for [`lower_to_graph`].
 #[derive(Clone, Debug)]
@@ -36,14 +48,39 @@ pub fn lower_to_graph(net: &ProcessNetwork, opts: &LoweringOptions) -> WeightedG
     }
     for c in net.channel_ids() {
         let ch = net.channel(c);
-        if ch.from == ch.to {
-            continue; // intra-process state never crosses FPGAs
-        }
         let w = (ch.volume / div).max(1);
-        g.add_or_merge_edge(to_node(ch.from), to_node(ch.to), w)
-            .expect("endpoints exist and differ");
+        for consumer in ch.consumers() {
+            if ch.from == consumer {
+                continue; // intra-process state never crosses FPGAs
+            }
+            g.add_or_merge_edge(to_node(ch.from), to_node(consumer), w)
+                .expect("endpoints exist and differ");
+        }
     }
     g
+}
+
+/// Lower `net` to a [`Hypergraph`]: one net per channel, rooted at the
+/// producer with all consumers as pins; self-loop channels (producer is
+/// the only pin) are dropped. Node `i` corresponds to process `i`, as in
+/// [`lower_to_graph`], so a partition of either substrate maps onto the
+/// other unchanged.
+pub fn lower_to_hypergraph(net: &ProcessNetwork, opts: &LoweringOptions) -> Hypergraph {
+    let div = opts.volume_divisor.max(1);
+    let mut b = HypergraphBuilder::new();
+    for p in net.process_ids() {
+        b.add_node(net.process(p).resources.scalar());
+    }
+    for c in net.channel_ids() {
+        let ch = net.channel(c);
+        let mut pins = vec![to_node(ch.from)];
+        pins.extend(ch.consumers().filter(|&x| x != ch.from).map(to_node));
+        if pins.len() < 2 {
+            continue; // pure self-loop state
+        }
+        b.add_net((ch.volume / div).max(1), &pins);
+    }
+    b.build()
 }
 
 #[inline]
@@ -117,5 +154,57 @@ mod tests {
         n.add_simple_process("stub", 0, 1, 1);
         let g = lower_to_graph(&n, &LoweringOptions::default());
         assert_eq!(g.node_weight(NodeId(0)), 1);
+    }
+
+    fn multicast_net() -> ProcessNetwork {
+        let mut n = ProcessNetwork::new();
+        let p = n.add_simple_process("prod", 10, 1, 40);
+        let a = n.add_simple_process("a", 12, 1, 40);
+        let b = n.add_simple_process("b", 14, 1, 40);
+        let c = n.add_simple_process("c", 16, 1, 40);
+        n.add_multicast_channel(p, &[a, b, c], 40, 4);
+        n
+    }
+
+    #[test]
+    fn graph_lowering_double_counts_multicast() {
+        let n = multicast_net();
+        let g = lower_to_graph(&n, &LoweringOptions::default());
+        // one full-volume edge per consumer — 3 × 40
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.total_edge_weight(), 120);
+    }
+
+    #[test]
+    fn hypergraph_lowering_emits_one_net_per_channel() {
+        let n = multicast_net();
+        let hg = lower_to_hypergraph(&n, &LoweringOptions::default());
+        hg.validate().unwrap();
+        assert_eq!(hg.num_nets(), 1);
+        assert_eq!(hg.num_nodes(), 4);
+        let net = ppn_hyper::NetId(0);
+        assert_eq!(hg.root(net), NodeId(0));
+        assert_eq!(hg.pins(net).len(), 4);
+        assert_eq!(hg.net_weight(net), 40);
+        assert_eq!(hg.node_weights(), &[10, 12, 14, 16]);
+    }
+
+    #[test]
+    fn hypergraph_lowering_matches_graph_on_point_to_point() {
+        let mut n = ProcessNetwork::new();
+        let a = n.add_simple_process("a", 10, 1, 10);
+        let b = n.add_simple_process("b", 20, 1, 10);
+        n.add_channel(a, b, 30, 2);
+        let hg = lower_to_hypergraph(&n, &LoweringOptions::default());
+        assert_eq!(hg.num_nets(), 1);
+        assert_eq!(hg.pins(ppn_hyper::NetId(0)), &[0, 1]);
+        // self-loops vanish in both lowerings
+        let mut n2 = ProcessNetwork::new();
+        let s = n2.add_simple_process("s", 5, 1, 10);
+        n2.add_channel(s, s, 100, 1);
+        assert_eq!(
+            lower_to_hypergraph(&n2, &LoweringOptions::default()).num_nets(),
+            0
+        );
     }
 }

@@ -42,12 +42,18 @@ pub struct Process {
     pub firings: u64,
 }
 
-/// A FIFO channel between two processes.
+/// A FIFO channel between two processes. A *multicast* channel carries
+/// one token stream from `from` to `to` **and** every process in
+/// `extra_consumers`: each consumer sees the full stream, but the
+/// producer emits it once — on a multi-FPGA platform the stream crosses
+/// each inter-FPGA boundary once, no matter how many consumers sit
+/// behind it (the hypergraph lowering models this exactly; the graph
+/// lowering double-counts it, one edge per consumer).
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Channel {
     /// Producing process.
     pub from: ProcessId,
-    /// Consuming process.
+    /// Consuming process (the first consumer for multicast channels).
     pub to: ProcessId,
     /// Total tokens transported over the application's execution —
     /// lowered to the bandwidth weight of the partitioning graph.
@@ -58,6 +64,23 @@ pub struct Channel {
     /// cyclic networks, like delays in SDF).
     #[serde(default)]
     pub initial_tokens: u64,
+    /// Additional consumers of the same stream (empty for ordinary
+    /// point-to-point channels).
+    #[serde(default)]
+    pub extra_consumers: Vec<ProcessId>,
+}
+
+impl Channel {
+    /// All consumers of this channel's stream: `to` first, then the
+    /// extra multicast consumers.
+    pub fn consumers(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        std::iter::once(self.to).chain(self.extra_consumers.iter().copied())
+    }
+
+    /// True when the channel multicasts to more than one consumer.
+    pub fn is_multicast(&self) -> bool {
+        !self.extra_consumers.is_empty()
+    }
 }
 
 /// A (polyhedral/Kahn) process network.
@@ -128,8 +151,87 @@ impl ProcessNetwork {
             volume,
             capacity,
             initial_tokens,
+            extra_consumers: Vec::new(),
         });
         id
+    }
+
+    /// Add a multicast channel: one stream of `volume` tokens from
+    /// `from` to every process in `consumers` (≥ 1, distinct, not the
+    /// producer). Panics on unknown endpoints, an empty or duplicate
+    /// consumer list, or zero capacity.
+    pub fn add_multicast_channel(
+        &mut self,
+        from: ProcessId,
+        consumers: &[ProcessId],
+        volume: u64,
+        capacity: u64,
+    ) -> ChannelId {
+        assert!(
+            !consumers.is_empty(),
+            "multicast needs at least one consumer"
+        );
+        assert!(from.index() < self.processes.len(), "unknown producer");
+        for (i, &c) in consumers.iter().enumerate() {
+            assert!(c.index() < self.processes.len(), "unknown consumer");
+            assert!(c != from, "producer cannot consume its own multicast");
+            assert!(!consumers[..i].contains(&c), "duplicate consumer");
+        }
+        assert!(capacity >= 1, "FIFO capacity must be at least 1");
+        let id = ChannelId(self.channels.len() as u32);
+        self.channels.push(Channel {
+            from,
+            to: consumers[0],
+            volume,
+            capacity,
+            initial_tokens: 0,
+            extra_consumers: consumers[1..].to_vec(),
+        });
+        id
+    }
+
+    /// True when any channel multicasts to more than one consumer.
+    pub fn has_multicast(&self) -> bool {
+        self.channels.iter().any(|c| c.is_multicast())
+    }
+
+    /// Flatten multicast channels into per-consumer point-to-point
+    /// clones (same volume, capacity, and initial tokens per consumer).
+    /// Returns `self` unchanged when there is no multicast. Used by the
+    /// dataflow simulators, which model each consumer's FIFO cursor
+    /// separately.
+    pub fn expand_multicast(&self) -> ProcessNetwork {
+        self.expand_multicast_with_origin().0
+    }
+
+    /// [`expand_multicast`](ProcessNetwork::expand_multicast), also
+    /// returning `origin[expanded] = original channel index` so callers
+    /// can tell which clones carry the *same* stream (the mapped-system
+    /// simulator charges one link transport per stream per destination
+    /// FPGA, not one per clone).
+    pub fn expand_multicast_with_origin(&self) -> (ProcessNetwork, Vec<u32>) {
+        if !self.has_multicast() {
+            return (self.clone(), (0..self.channels.len() as u32).collect());
+        }
+        let mut net = ProcessNetwork {
+            processes: self.processes.clone(),
+            channels: Vec::with_capacity(self.channels.len()),
+        };
+        let mut origin = Vec::with_capacity(self.channels.len());
+        for (i, ch) in self.channels.iter().enumerate() {
+            for consumer in ch.consumers() {
+                net.channels.push(Channel {
+                    from: ch.from,
+                    to: consumer,
+                    volume: ch.volume,
+                    capacity: ch.capacity,
+                    initial_tokens: ch.initial_tokens,
+                    extra_consumers: Vec::new(),
+                });
+                origin.push(i as u32);
+            }
+        }
+        (net, origin)
     }
 
     /// Number of processes.
@@ -162,11 +264,15 @@ impl ProcessNetwork {
         (0..self.channels.len()).map(|i| ChannelId(i as u32))
     }
 
-    /// Channels feeding `p` (excluding self-loops, which carry state and
-    /// never block a single-rate firing schedule at capacity ≥ 1).
+    /// Channels feeding `p` — as primary or multicast consumer —
+    /// (excluding self-loops, which carry state and never block a
+    /// single-rate firing schedule at capacity ≥ 1).
     pub fn inputs_of(&self, p: ProcessId) -> Vec<ChannelId> {
         self.channel_ids()
-            .filter(|&c| self.channels[c.index()].to == p && self.channels[c.index()].from != p)
+            .filter(|&c| {
+                let ch = &self.channels[c.index()];
+                ch.from != p && ch.consumers().any(|x| x == p)
+            })
             .collect()
     }
 
@@ -192,13 +298,16 @@ impl ProcessNetwork {
     }
 
     /// True when the channel graph (ignoring self-loops) is acyclic.
+    /// Multicast channels contribute one edge per consumer.
     pub fn is_acyclic(&self) -> bool {
         // Kahn's algorithm
         let n = self.num_processes();
         let mut indeg = vec![0usize; n];
         for ch in &self.channels {
-            if ch.from != ch.to {
-                indeg[ch.to.index()] += 1;
+            for c in ch.consumers() {
+                if ch.from != c {
+                    indeg[c.index()] += 1;
+                }
             }
         }
         let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
@@ -206,10 +315,15 @@ impl ProcessNetwork {
         while let Some(i) = queue.pop() {
             seen += 1;
             for ch in &self.channels {
-                if ch.from.index() == i && ch.to.index() != i {
-                    indeg[ch.to.index()] -= 1;
-                    if indeg[ch.to.index()] == 0 {
-                        queue.push(ch.to.index());
+                if ch.from.index() != i {
+                    continue;
+                }
+                for c in ch.consumers() {
+                    if c.index() != i {
+                        indeg[c.index()] -= 1;
+                        if indeg[c.index()] == 0 {
+                            queue.push(c.index());
+                        }
                     }
                 }
             }
@@ -235,11 +349,21 @@ impl ProcessNetwork {
             }
         }
         for (i, c) in self.channels.iter().enumerate() {
-            if c.from.index() >= self.processes.len() || c.to.index() >= self.processes.len() {
+            if c.from.index() >= self.processes.len()
+                || c.consumers().any(|x| x.index() >= self.processes.len())
+            {
                 return Err(format!("channel {i} references unknown process"));
             }
             if c.capacity == 0 {
                 return Err(format!("channel {i} has zero capacity"));
+            }
+            for (j, x) in c.extra_consumers.iter().enumerate() {
+                if *x == c.to || c.extra_consumers[..j].contains(x) {
+                    return Err(format!("channel {i} lists a consumer twice"));
+                }
+                if *x == c.from {
+                    return Err(format!("channel {i} multicasts back to its own producer"));
+                }
             }
         }
         Ok(())
@@ -321,5 +445,84 @@ mod tests {
         let s = serde_json::to_string(&n).unwrap();
         let back: ProcessNetwork = serde_json::from_str(&s).unwrap();
         assert_eq!(back, n);
+    }
+
+    fn multicast_net() -> ProcessNetwork {
+        let mut n = ProcessNetwork::new();
+        let p = n.add_simple_process("prod", 10, 1, 50);
+        let a = n.add_simple_process("a", 10, 1, 50);
+        let b = n.add_simple_process("b", 10, 1, 50);
+        let c = n.add_simple_process("c", 10, 1, 50);
+        n.add_multicast_channel(p, &[a, b, c], 50, 4);
+        n
+    }
+
+    #[test]
+    fn multicast_channel_structure() {
+        let n = multicast_net();
+        assert!(n.has_multicast());
+        assert_eq!(n.num_channels(), 1);
+        let ch = n.channel(ChannelId(0));
+        assert!(ch.is_multicast());
+        assert_eq!(ch.consumers().count(), 3);
+        assert_eq!(n.inputs_of(ProcessId(2)), vec![ChannelId(0)]);
+        assert_eq!(n.inputs_of(ProcessId(3)), vec![ChannelId(0)]);
+        assert_eq!(n.sinks().len(), 3);
+        assert!(n.is_acyclic());
+        n.validate().unwrap();
+        // total volume counts the stream once, not once per consumer
+        assert_eq!(n.total_volume(), 50);
+    }
+
+    #[test]
+    fn expand_multicast_flattens_to_clones() {
+        let n = multicast_net();
+        let flat = n.expand_multicast();
+        assert!(!flat.has_multicast());
+        assert_eq!(flat.num_channels(), 3);
+        assert_eq!(flat.num_processes(), n.num_processes());
+        for c in flat.channel_ids() {
+            assert_eq!(flat.channel(c).volume, 50);
+            assert_eq!(flat.channel(c).from, ProcessId(0));
+        }
+        // no-multicast networks come back unchanged
+        let plain = pipeline3();
+        assert_eq!(plain.expand_multicast(), plain);
+    }
+
+    #[test]
+    fn multicast_cycles_detected_through_extras() {
+        let mut n = pipeline3();
+        // sink multicasts back to src: cycle via an extra consumer
+        n.add_multicast_channel(ProcessId(2), &[ProcessId(1), ProcessId(0)], 5, 2);
+        assert!(!n.is_acyclic());
+    }
+
+    #[test]
+    fn multicast_serde_roundtrip() {
+        let n = multicast_net();
+        let s = serde_json::to_string(&n).unwrap();
+        let back: ProcessNetwork = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_multicast_consumer_rejected() {
+        let mut n = pipeline3();
+        n.add_multicast_channel(ProcessId(0), &[ProcessId(1), ProcessId(1)], 5, 2);
+    }
+
+    #[test]
+    fn validate_rejects_hand_built_self_consuming_multicast() {
+        // JSON inputs bypass add_multicast_channel's asserts; validate()
+        // must hold the same invariants at the deserialisation boundary
+        let mut n = pipeline3();
+        n.add_channel(ProcessId(0), ProcessId(1), 5, 2);
+        let bad = n.num_channels() - 1;
+        n.channels[bad].extra_consumers = vec![ProcessId(0)];
+        assert!(n.validate().unwrap_err().contains("own producer"));
+        n.channels[bad].extra_consumers = vec![ProcessId(2), ProcessId(2)];
+        assert!(n.validate().unwrap_err().contains("twice"));
     }
 }

@@ -81,7 +81,15 @@ fn quota(volume: u64, firings: u64, idx: u64) -> u64 {
 }
 
 /// Simulate `net` until completion, deadlock, or `opts.max_cycles`.
+///
+/// Multicast channels are flattened first (each consumer gets its own
+/// FIFO cursor over the same stream, see
+/// [`ProcessNetwork::expand_multicast`]); for such networks the
+/// `transferred` vector is indexed by the *expanded* channel list.
 pub fn simulate(net: &ProcessNetwork, opts: &SimOptions) -> SimReport {
+    if net.has_multicast() {
+        return simulate(&net.expand_multicast(), opts);
+    }
     net.validate()
         .expect("network must validate before simulation");
     let np = net.num_processes();

@@ -16,6 +16,10 @@
 //!   (KL, FM, spectral bisection, greedy growing, recursive bisection);
 //! * [`ppn_graph`] — the weighted-graph substrate with partition
 //!   metrics and constraint checking;
+//! * [`ppn_hyper`] — the hypergraph substrate and multilevel
+//!   connectivity-metric partitioner: multicast channels become nets
+//!   whose bandwidth is charged once per spanned FPGA boundary instead
+//!   of once per consumer;
 //! * [`ppn_model`] — process networks, FIFO channels, and a dataflow
 //!   simulator;
 //! * [`ppn_poly`] — a mini polyhedral front-end deriving PPNs from
@@ -34,8 +38,10 @@ pub use metis_lite;
 pub use multi_fpga;
 pub use ppn_gen;
 pub use ppn_graph;
+pub use ppn_hyper;
 pub use ppn_model;
 pub use ppn_poly;
 
 pub use gp_core::{GpParams, GpPartitioner, GpResult};
 pub use ppn_graph::{Constraints, Partition, WeightedGraph};
+pub use ppn_hyper::{hyper_partition, HyperParams, HyperResult, Hypergraph};
