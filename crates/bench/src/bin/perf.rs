@@ -4,14 +4,16 @@
 //!
 //! Runs the scaling workload family (planted-community graphs, the same
 //! family as the `scaling` criterion bench), times every GP phase
-//! separately — coarsening (with a per-level breakdown, since PR 2 made
-//! it the dominant cost), initial partitioning, refinement up the
-//! hierarchy, end-to-end — records the hierarchy's peak memory footprint
-//! (summed per-level node/edge counts, so coarsening-ratio regressions
-//! show up even when time doesn't move), and times the refinement
-//! rewrite against the preserved pre-optimisation reference
-//! implementation (`gp_core::constrained_refine_reference`) on an
-//! identical scrambled start.
+//! separately — coarsening (with a per-level breakdown including the
+//! seconds each tournament heuristic took), initial partitioning,
+//! refinement up the hierarchy, end-to-end — records the hierarchy's
+//! peak memory footprint (summed per-level node/edge counts, so
+//! coarsening-ratio regressions show up even when time doesn't move),
+//! and times both preserved reference implementations against their
+//! rewrites: refinement (`gp_core::constrained_refine_reference` on an
+//! identical scrambled start) and coarsening
+//! (`gp_core::gp_coarsen_reference`, asserted to build the bit-identical
+//! hierarchy per seed).
 //!
 //! A second section compares the edge-cut and connectivity objectives
 //! on fan-out-heavy multicast networks: GP on the clique-lowered graph
@@ -25,7 +27,8 @@
 use gp_core::refine::RefineOptions;
 use gp_core::{
     constrained_refine, constrained_refine_reference, gp_coarsen, gp_coarsen_observed,
-    gp_partition, greedy_initial_partition, GpHierarchy, GpParams, InitialOptions,
+    gp_coarsen_reference, gp_partition, greedy_initial_partition, GpHierarchy, GpParams,
+    InitialOptions,
 };
 use ppn_gen::{dense_community_graph, multicast_network, MulticastSpec};
 use ppn_graph::metrics::{edge_cut, PartitionQuality};
@@ -98,6 +101,12 @@ fn coarsen_level_breakdown(
 ) -> Vec<serde_json::Value> {
     let mut rows = Vec::new();
     gp_coarsen_observed(g, &params.matchings, params.coarsen_to, seed, &mut |t| {
+        let heuristics = serde_json::Value::Object(
+            t.heuristics
+                .iter()
+                .map(|h| (h.kind.to_string(), serde_json::json!(h.seconds)))
+                .collect(),
+        );
         rows.push(serde_json::json!({
             "level": t.level,
             "fine_nodes": t.fine_nodes,
@@ -106,9 +115,49 @@ fn coarsen_level_breakdown(
             "matching": t.matching_kind.to_string(),
             "matching_s": t.matching_s,
             "contract_s": t.contract_s,
+            "heuristics": heuristics,
         }));
     });
     rows
+}
+
+/// Reference-vs-optimized coarsening on the same seed: the original
+/// Lloyd-scan k-means, `find_edge` contraction and absorbed-weight
+/// rescans against the marker-array/binary-search rewrite. The two
+/// hierarchies are asserted identical (size trace, per-level maps and
+/// winning heuristics) — the speedup is pure implementation, zero
+/// algorithmic drift.
+fn coarsen_compare(
+    g: &WeightedGraph,
+    params: &GpParams,
+    seed: u64,
+    optimized_s: f64,
+    optimized: &GpHierarchy,
+    reps: usize,
+) -> serde_json::Value {
+    let (reference_s, reference) = time_best(reps, || {
+        gp_coarsen_reference(g, &params.matchings, params.coarsen_to, seed)
+    });
+    assert_eq!(
+        reference.size_trace(),
+        optimized.size_trace(),
+        "reference and optimized coarsening diverged (size trace)"
+    );
+    assert_eq!(reference.levels.len(), optimized.levels.len());
+    for (a, b) in reference.levels.iter().zip(&optimized.levels) {
+        assert_eq!(
+            a.matching_kind, b.matching_kind,
+            "winning heuristic drifted"
+        );
+        assert_eq!(a.map, b.map, "fine→coarse map drifted");
+    }
+    serde_json::json!({
+        "reference_s": reference_s,
+        "optimized_s": optimized_s,
+        "speedup": reference_s / optimized_s.max(1e-9),
+        "identical_hierarchy": true,
+        "size_trace": optimized.size_trace(),
+    })
 }
 
 /// Peak memory footprint of a hierarchy: every level is held alive
@@ -138,6 +187,7 @@ fn measure(w: &Workload, reps: usize) -> (serde_json::Value, f64) {
         gp_coarsen(&w.g, &params.matchings, params.coarsen_to, seed)
     });
     let coarsen_levels = coarsen_level_breakdown(&w.g, &params, seed);
+    let coarsen_vs_reference = coarsen_compare(&w.g, &params, seed, coarsen_s, &hier, reps);
     let hierarchy = hierarchy_footprint(&hier);
     let (initial_s, p0) = time_best(reps, || {
         greedy_initial_partition(
@@ -251,6 +301,19 @@ fn measure(w: &Workload, reps: usize) -> (serde_json::Value, f64) {
         w.name, n, coarsen_s, initial_s, refine_up_s, end_to_end_s
     );
     println!(
+        "{:<16} coarsening: reference {:>8.5}s  optimized {:>8.5}s  speedup {:>6.2}x (identical hierarchy)",
+        "",
+        coarsen_vs_reference
+            .get("reference_s")
+            .and_then(|v| v.as_f64())
+            .unwrap(),
+        coarsen_s,
+        coarsen_vs_reference
+            .get("speedup")
+            .and_then(|v| v.as_f64())
+            .unwrap(),
+    );
+    println!(
         "{:<16} refinement: reference {:>8.5}s  optimized {:>8.5}s  speedup {:>6.2}x  (moves {} vs {})",
         "", reference_s, optimized_s, speedup, ref_moves, opt_moves
     );
@@ -271,6 +334,7 @@ fn measure(w: &Workload, reps: usize) -> (serde_json::Value, f64) {
             "end_to_end": end_to_end_s,
         },
         "coarsen_levels": coarsen_levels,
+        "coarsen_compare": coarsen_vs_reference,
         "hierarchy": hierarchy,
         "refinement": {
             "start": "scrambled",
@@ -398,12 +462,22 @@ fn main() {
     println!(
         "\nlargest workload refinement speedup: {largest_speedup:.2}x (reference vs boundary-driven)"
     );
+    if let Some(cs) = measured
+        .last()
+        .and_then(|w| w.get("coarsen_compare"))
+        .and_then(|c| c.get("speedup"))
+        .and_then(|v| v.as_f64())
+    {
+        println!(
+            "largest workload coarsening speedup: {cs:.2}x (reference vs marker-array + O(n log k) k-means)"
+        );
+    }
 
     println!("\nedge-cut vs connectivity objective on multicast networks:");
     let hyper_rows = hyper_workloads(smoke, reps);
 
     let doc = serde_json::json!({
-        "schema": 2,
+        "schema": 3,
         "mode": if smoke { "smoke" } else { "full" },
         "threads": threads,
         "workloads": measured,

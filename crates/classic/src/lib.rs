@@ -36,5 +36,8 @@ pub use fm::{fm_refine_bisection, FmOptions, FmOutcome};
 pub use grow::greedy_grow_bisection;
 pub use kl::kl_refine_bisection;
 pub use kway::{kway_refine, KwayOptions};
-pub use matching::heavy_edge_matching;
+pub use matching::{
+    heavy_edge_matching, heavy_edge_matching_node_scan, heavy_edge_matching_prepared,
+    shuffled_sorted_edges,
+};
 pub use spectral::spectral_bisection;

@@ -11,22 +11,39 @@ use ppn_graph::matching::Matching;
 use ppn_graph::prng::XorShift128Plus;
 use ppn_graph::WeightedGraph;
 
+/// Build the shuffled-then-sorted `(weight, edge id)` order the
+/// edge-scan heuristics consume, into `buf` (cleared first, capacity
+/// retained). The shuffle runs before the stable sort so ties inside a
+/// weight class keep a seeded random order. Factored out so a coarsening
+/// level can build this order once and share it between heavy-edge and
+/// k-means matching instead of each heuristic allocating and re-sorting
+/// its own copy.
+pub fn shuffled_sorted_edges(g: &WeightedGraph, seed: u64, buf: &mut Vec<(u64, u32)>) {
+    buf.clear();
+    buf.extend(g.edge_ids().map(|e| (g.edge_weight(e), e.0)));
+    let mut rng = XorShift128Plus::new(seed);
+    rng.shuffle(buf);
+    buf.sort_by_key(|e| std::cmp::Reverse(e.0));
+}
+
 /// Heavy-edge matching: visit edges in descending weight order, matching
 /// endpoints that are both free. Ties are broken by a seeded shuffle so
 /// that repeated coarsening attempts explore different contractions.
 pub fn heavy_edge_matching(g: &WeightedGraph, seed: u64) -> Matching {
-    let mut edges: Vec<(u64, u32)> = g.edge_ids().map(|e| (g.edge_weight(e), e.0)).collect();
-    // shuffle first so that the stable sort keeps a random order inside
-    // each weight class
-    let mut rng = XorShift128Plus::new(seed);
-    rng.shuffle(&mut edges);
-    edges.sort_by_key(|e| std::cmp::Reverse(e.0));
+    let mut edges = Vec::new();
+    shuffled_sorted_edges(g, seed, &mut edges);
+    heavy_edge_matching_prepared(g, &edges)
+}
 
+/// Heavy-edge matching over a prepared [`shuffled_sorted_edges`] order.
+/// Deterministic given the order; the per-level tournament shares one
+/// prepared order between this and k-means matching.
+pub fn heavy_edge_matching_prepared(g: &WeightedGraph, edges: &[(u64, u32)]) -> Matching {
     let mut m = Matching::empty(g.num_nodes());
-    for &(_, eid) in &edges {
+    for &(w, eid) in edges {
         let (u, v, _) = g.edge(ppn_graph::EdgeId(eid));
         if !m.is_matched(u) && !m.is_matched(v) {
-            m.add_pair(u, v);
+            m.add_pair_absorbing(u, v, w);
         }
     }
     m
@@ -56,8 +73,8 @@ pub fn heavy_edge_matching_node_scan(g: &WeightedGraph, seed: u64) -> Matching {
                 _ => best = Some((w, u)),
             }
         }
-        if let Some((_, u)) = best {
-            m.add_pair(v, u);
+        if let Some((w, u)) = best {
+            m.add_pair_absorbing(v, u, w);
         }
     }
     m
@@ -147,5 +164,29 @@ mod tests {
             heavy_edge_matching_node_scan(&g, 5),
             heavy_edge_matching_node_scan(&g, 5)
         );
+    }
+
+    #[test]
+    fn prepared_variant_is_the_same_matching() {
+        let g = heavy_middle();
+        let mut edges = Vec::new();
+        for seed in 0..8 {
+            shuffled_sorted_edges(&g, seed, &mut edges);
+            assert_eq!(
+                heavy_edge_matching_prepared(&g, &edges),
+                heavy_edge_matching(&g, seed)
+            );
+        }
+    }
+
+    #[test]
+    fn absorbed_counter_matches_scan_for_both_variants() {
+        let g = heavy_middle();
+        for seed in 0..8 {
+            let a = heavy_edge_matching(&g, seed);
+            assert_eq!(a.absorbed(), a.absorbed_weight(&g));
+            let b = heavy_edge_matching_node_scan(&g, seed);
+            assert_eq!(b.absorbed(), b.absorbed_weight(&g));
+        }
     }
 }

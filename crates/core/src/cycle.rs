@@ -64,6 +64,7 @@ pub fn gp_partition(
     let mut best: Option<((u64, u64, u64), Partition)> = None;
     let mut trace: Vec<CycleTrace> = Vec::new();
     let mut cycles_used = 0;
+    let matchings = params.effective_matchings();
 
     'cycles: for cycle in 0..params.max_cycles.max(1) {
         cycles_used = cycle + 1;
@@ -71,11 +72,11 @@ pub fn gp_partition(
 
         // hierarchy for this cycle ("go back to coarsening phase …
         // randomly, cyclically")
-        let hier = gp_coarsen(g, &params.matchings, params.coarsen_to, cycle_seed);
+        let hier = gp_coarsen(g, &matchings, params.coarsen_to, cycle_seed);
         let levels = hier.levels.len();
         let mid = levels / 2;
         let sizes = hier.size_trace();
-        let matchings: Vec<_> = hier.levels.iter().map(|l| l.matching_kind).collect();
+        let level_winners: Vec<_> = hier.levels.iter().map(|l| l.matching_kind).collect();
 
         // generate intermediate clustering candidates
         let attempts = params.intermediate_attempts.max(1);
@@ -106,7 +107,7 @@ pub fn gp_partition(
                 cycle,
                 attempt,
                 hierarchy_sizes: sizes.clone(),
-                matchings: matchings.clone(),
+                matchings: level_winners.clone(),
                 mid_level: mid,
                 goodness_at_mid: goodness,
                 selected: false,

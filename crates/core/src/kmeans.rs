@@ -14,14 +14,114 @@
 //! wants to see (uneven coarse nodes make `Rmax` bin-packing needlessly
 //! hard). Pairing *within* a weight cluster is the property the paper's
 //! text emphasises; the greedy heavy-edge tie-break keeps the cut low.
+//!
+//! ## The assignment step is the coarsening bottleneck
+//!
+//! With `k = n/8` clusters, the textbook Lloyd assignment scans every
+//! centroid per node per iteration — O(n²·iters/8), ~4 billion
+//! comparisons at 32k nodes, which made k-means matching dominate the
+//! entire partitioner. [`assign_fast`] replaces the scan with a binary
+//! search over the sorted centroids: in 1-D the nearest centroid is
+//! always one of the two values bracketing the query, so each node costs
+//! O(log k) and an iteration costs O((n + k)·log k). The scan survives
+//! as [`assign_reference`], and a property test pins the two to the
+//! *identical* assignment — including Rust's first-minimal-index
+//! tie-break — on arbitrary inputs, so the fast path cannot drift.
 
+use gp_classic::matching::shuffled_sorted_edges;
 use ppn_graph::matching::Matching;
 use ppn_graph::prng::XorShift128Plus;
 use ppn_graph::WeightedGraph;
 
+/// One Lloyd assignment step by linear scan: for each value, the index of
+/// the nearest centroid, ties to the smallest centroid index (`min_by`
+/// keeps the first minimal element). Reference oracle for
+/// [`assign_fast`]; O(n·k).
+pub fn assign_reference(values: &[f64], centroids: &[f64]) -> Vec<usize> {
+    values
+        .iter()
+        .map(|&v| {
+            centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    (v - **a)
+                        .abs()
+                        .partial_cmp(&(v - **b).abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(c, _)| c)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// One Lloyd assignment step in O((n + k)·log k): sort the centroids
+/// (keeping the smallest original index per duplicated value), binary
+/// search each value's insertion point, and compare only the two
+/// bracketing centroids with the same float operations as the reference
+/// scan. Produces the identical assignment (property-tested).
+pub fn assign_fast(values: &[f64], centroids: &[f64]) -> Vec<usize> {
+    let mut out = vec![0usize; values.len()];
+    let mut sorted = Vec::new();
+    assign_fast_into(values, centroids, &mut sorted, &mut out);
+    out
+}
+
+/// [`assign_fast`] writing into caller-owned buffers so the Lloyd loop
+/// stays allocation-free across iterations.
+fn assign_fast_into(
+    values: &[f64],
+    centroids: &[f64],
+    sorted: &mut Vec<(f64, u32)>,
+    out: &mut [usize],
+) {
+    debug_assert_eq!(values.len(), out.len());
+    if centroids.is_empty() {
+        out.fill(0);
+        return;
+    }
+    sorted.clear();
+    sorted.extend(centroids.iter().enumerate().map(|(i, &c)| (c, i as u32)));
+    // sort by value then index: stable position of duplicates, with the
+    // smallest original index first so dedup keeps exactly the centroid
+    // the reference's first-minimal-index rule would pick
+    sorted.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    sorted.dedup_by(|next, prev| next.0 == prev.0);
+    for (i, &v) in values.iter().enumerate() {
+        let hi = sorted.partition_point(|&(c, _)| c < v);
+        let best = if hi == 0 {
+            sorted[0].1
+        } else if hi == sorted.len() {
+            sorted[hi - 1].1
+        } else {
+            let (cl, il) = sorted[hi - 1];
+            let (ch, ih) = sorted[hi];
+            // exact same distance expressions as the reference scan, so
+            // float rounding can never disagree
+            let dl = (v - cl).abs();
+            let dh = (v - ch).abs();
+            if dl < dh {
+                il
+            } else if dh < dl {
+                ih
+            } else {
+                il.min(ih)
+            }
+        };
+        out[i] = best as usize;
+    }
+}
+
 /// 1-D Lloyd's k-means over `values`; returns the cluster index of each
 /// element. Deterministic given the seed; empty clusters are dropped.
-fn kmeans_1d(values: &[f64], k: usize, seed: u64, iters: usize) -> Vec<usize> {
+/// `fast` selects the assignment implementation — identical results
+/// either way (the perf harness runs both to price the difference).
+fn kmeans_1d_impl(values: &[f64], k: usize, seed: u64, iters: usize, fast: bool) -> Vec<usize> {
     let n = values.len();
     let k = k.clamp(1, n.max(1));
     if n == 0 {
@@ -42,27 +142,20 @@ fn kmeans_1d(values: &[f64], k: usize, seed: u64, iters: usize) -> Vec<usize> {
         .collect();
 
     let mut assign = vec![0usize; n];
+    let mut next = vec![0usize; n];
+    let mut sort_buf: Vec<(f64, u32)> = Vec::new();
+    let mut sums = vec![0.0; k];
+    let mut counts = vec![0usize; k];
     for _ in 0..iters {
-        let mut changed = false;
-        for (i, &v) in values.iter().enumerate() {
-            let best = centroids
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    (v - **a)
-                        .abs()
-                        .partial_cmp(&(v - **b).abs())
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .map(|(c, _)| c)
-                .unwrap_or(0);
-            if assign[i] != best {
-                assign[i] = best;
-                changed = true;
-            }
+        if fast {
+            assign_fast_into(values, &centroids, &mut sort_buf, &mut next);
+        } else {
+            next.copy_from_slice(&assign_reference(values, &centroids));
         }
-        let mut sums = vec![0.0; k];
-        let mut counts = vec![0usize; k];
+        let changed = next != assign;
+        assign.copy_from_slice(&next);
+        sums.fill(0.0);
+        counts.fill(0);
         for (i, &c) in assign.iter().enumerate() {
             sums[c] += values[i];
             counts[c] += 1;
@@ -79,11 +172,23 @@ fn kmeans_1d(values: &[f64], k: usize, seed: u64, iters: usize) -> Vec<usize> {
     assign
 }
 
-/// K-means matching: cluster nodes by weight, then heavy-edge match
-/// within each cluster. Nodes whose entire neighbourhood lies in other
-/// clusters stay unmatched (they survive as singletons, exactly like in
-/// the other matchings).
-pub fn kmeans_matching(g: &WeightedGraph, seed: u64) -> Matching {
+/// 1-D k-means with the O((n + k)·log k) assignment step.
+pub fn kmeans_1d(values: &[f64], k: usize, seed: u64, iters: usize) -> Vec<usize> {
+    kmeans_1d_impl(values, k, seed, iters, true)
+}
+
+/// 1-D k-means with the original O(n·k) Lloyd scan. Perf-harness
+/// baseline; identical output to [`kmeans_1d`] (property-tested).
+pub fn kmeans_1d_reference(values: &[f64], k: usize, seed: u64, iters: usize) -> Vec<usize> {
+    kmeans_1d_impl(values, k, seed, iters, false)
+}
+
+fn kmeans_matching_impl(
+    g: &WeightedGraph,
+    seed: u64,
+    edges: &[(u64, u32)],
+    fast: bool,
+) -> Matching {
     let n = g.num_nodes();
     let mut m = Matching::empty(n);
     if n < 2 {
@@ -91,32 +196,56 @@ pub fn kmeans_matching(g: &WeightedGraph, seed: u64) -> Matching {
     }
     let values: Vec<f64> = g.node_ids().map(|v| g.node_weight(v) as f64).collect();
     let k = (n / 8).max(2).min(n);
-    let clusters = kmeans_1d(&values, k, seed, 32);
+    let clusters = kmeans_1d_impl(&values, k, seed, 32, fast);
 
     // heavy-edge scan restricted to same-cluster endpoints
-    let mut edges: Vec<(u64, u32)> = g.edge_ids().map(|e| (g.edge_weight(e), e.0)).collect();
-    let mut rng = XorShift128Plus::new(seed ^ 0x4B4D_4541_4E53);
-    rng.shuffle(&mut edges);
-    edges.sort_by_key(|e| std::cmp::Reverse(e.0));
-    for &(_, eid) in &edges {
+    for &(w, eid) in edges {
         let (u, v, _) = g.edge(ppn_graph::EdgeId(eid));
         if clusters[u.index()] != clusters[v.index()] {
             continue;
         }
         if !m.is_matched(u) && !m.is_matched(v) {
-            m.add_pair(u, v);
+            m.add_pair_absorbing(u, v, w);
         }
     }
     // second sweep: allow cross-cluster pairs for still-unmatched nodes
     // so the contraction keeps shrinking (pure within-cluster matching
     // can stall on weight-diverse graphs)
-    for &(_, eid) in &edges {
+    for &(w, eid) in edges {
         let (u, v, _) = g.edge(ppn_graph::EdgeId(eid));
         if !m.is_matched(u) && !m.is_matched(v) {
-            m.add_pair(u, v);
+            m.add_pair_absorbing(u, v, w);
         }
     }
     m
+}
+
+/// K-means matching: cluster nodes by weight, then heavy-edge match
+/// within each cluster. Nodes whose entire neighbourhood lies in other
+/// clusters stay unmatched (they survive as singletons, exactly like in
+/// the other matchings).
+pub fn kmeans_matching(g: &WeightedGraph, seed: u64) -> Matching {
+    let mut edges = Vec::new();
+    shuffled_sorted_edges(g, seed ^ 0x4B4D_4541_4E53, &mut edges);
+    kmeans_matching_impl(g, seed, &edges, true)
+}
+
+/// K-means matching over a prepared `(weight, edge id)` order (see
+/// `gp_classic::shuffled_sorted_edges`): the per-level tournament builds
+/// the order once and shares it with heavy-edge matching. `seed` still
+/// drives the k-means centroid jitter.
+pub fn kmeans_matching_prepared(g: &WeightedGraph, seed: u64, edges: &[(u64, u32)]) -> Matching {
+    kmeans_matching_impl(g, seed, edges, true)
+}
+
+/// [`kmeans_matching_prepared`] with the reference Lloyd scan — the
+/// perf-harness baseline backend. Identical output.
+pub fn kmeans_matching_prepared_reference(
+    g: &WeightedGraph,
+    seed: u64,
+    edges: &[(u64, u32)],
+) -> Matching {
+    kmeans_matching_impl(g, seed, edges, false)
 }
 
 #[cfg(test)]
@@ -140,6 +269,43 @@ mod tests {
         assert_eq!(kmeans_1d(&[5.0], 3, 1, 10), vec![0]);
         let same = kmeans_1d(&[2.0, 2.0, 2.0], 2, 1, 10);
         assert_eq!(same.len(), 3);
+    }
+
+    #[test]
+    fn fast_assignment_equals_reference_on_tricky_inputs() {
+        // duplicates, exact midpoints, unsorted centroids, out-of-range
+        // queries — every branch of the bracketing logic
+        let cases: &[(&[f64], &[f64])] = &[
+            (&[1.0, 2.0, 3.0], &[2.0, 2.0, 5.0]),
+            (&[2.0], &[1.0, 3.0]),         // exact midpoint tie
+            (&[4.0], &[5.0, 3.0]),         // midpoint with unsorted centroids
+            (&[-10.0, 10.0], &[0.0, 1.0]), // outside the centroid range
+            (&[0.5, 1.5, 2.5], &[3.0, 1.0, 2.0, 0.0]),
+            (&[7.0, 7.0], &[7.0, 7.0, 7.0]), // all duplicates
+        ];
+        for (values, centroids) in cases {
+            assert_eq!(
+                assign_fast(values, centroids),
+                assign_reference(values, centroids),
+                "values {values:?} centroids {centroids:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_kmeans_equals_reference_kmeans() {
+        for seed in 0..16u64 {
+            let values: Vec<f64> = (0..200)
+                .map(|i| ((seed.rotate_left(i as u32) % 97) as f64) / 3.0)
+                .collect();
+            for k in [2usize, 5, 25, 100] {
+                assert_eq!(
+                    kmeans_1d(&values, k, seed, 32),
+                    kmeans_1d_reference(&values, k, seed, 32),
+                    "seed {seed} k {k}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -187,6 +353,25 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(kmeans_matching(&g, 5), kmeans_matching(&g, 5));
+    }
+
+    #[test]
+    fn prepared_reference_backend_is_identical() {
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..24).map(|i| g.add_node(1 + i % 5)).collect();
+        for i in 0..24 {
+            g.add_edge(n[i], n[(i + 1) % 24], 1 + (i as u64 % 7))
+                .unwrap();
+            let _ = g.add_or_merge_edge(n[i], n[(i + 5) % 24], 2);
+        }
+        let mut edges = Vec::new();
+        for seed in 0..6 {
+            shuffled_sorted_edges(&g, seed, &mut edges);
+            let fast = kmeans_matching_prepared(&g, seed, &edges);
+            let slow = kmeans_matching_prepared_reference(&g, seed, &edges);
+            assert_eq!(fast, slow, "seed {seed}");
+            assert_eq!(fast.absorbed(), fast.absorbed_weight(&g));
+        }
     }
 
     #[test]

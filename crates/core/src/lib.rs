@@ -49,7 +49,9 @@ pub mod refine_reference;
 pub mod report;
 
 pub use coarsen::{
-    best_matching, gp_coarsen, gp_coarsen_observed, GpHierarchy, GpLevel, LevelTiming,
+    best_matching, best_matching_in, gp_coarsen, gp_coarsen_observed, gp_coarsen_owned,
+    gp_coarsen_reference, CoarsenBackend, GpHierarchy, GpLevel, HeuristicTiming, LevelTiming,
+    MatchScratch,
 };
 pub use cycle::gp_partition;
 pub use initial::{greedy_initial_partition, InitialOptions};

@@ -12,6 +12,11 @@ pub enum MatchingKind {
     HeavyEdge,
     /// K-means matching (weight-clustered pairing).
     KMeans,
+    /// Heavy-edge matching in the METIS node-scan style (random node
+    /// order, each node grabs its heaviest free neighbour). Not one of
+    /// the paper's three; entered into the tournament only when
+    /// [`GpParams::node_scan_hem`] is set.
+    HeavyEdgeNodeScan,
 }
 
 impl MatchingKind {
@@ -21,6 +26,15 @@ impl MatchingKind {
         MatchingKind::HeavyEdge,
         MatchingKind::KMeans,
     ];
+
+    /// The paper's three plus the node-scan HEM variant (ablations and
+    /// the matching bench).
+    pub const WITH_NODE_SCAN: [MatchingKind; 4] = [
+        MatchingKind::Random,
+        MatchingKind::HeavyEdge,
+        MatchingKind::KMeans,
+        MatchingKind::HeavyEdgeNodeScan,
+    ];
 }
 
 impl std::fmt::Display for MatchingKind {
@@ -29,6 +43,7 @@ impl std::fmt::Display for MatchingKind {
             MatchingKind::Random => write!(f, "random"),
             MatchingKind::HeavyEdge => write!(f, "heavy-edge"),
             MatchingKind::KMeans => write!(f, "k-means"),
+            MatchingKind::HeavyEdgeNodeScan => write!(f, "hem-node-scan"),
         }
     }
 }
@@ -62,6 +77,9 @@ pub struct GpParams {
     /// Evaluate restarts/matchings in parallel with rayon (results are
     /// identical either way; selection uses a total order).
     pub parallel: bool,
+    /// Enter the node-scan HEM variant as a fourth tournament entrant
+    /// (off by default: the paper runs exactly three heuristics).
+    pub node_scan_hem: bool,
 }
 
 impl Default for GpParams {
@@ -75,6 +93,7 @@ impl Default for GpParams {
             refine_passes: 8,
             seed: 0xCA77A,
             parallel: true,
+            node_scan_hem: false,
         }
     }
 }
@@ -98,6 +117,17 @@ impl GpParams {
         self.max_cycles = 1;
         self.intermediate_attempts = 1;
         self
+    }
+
+    /// The matchings the coarsening tournament actually runs: the
+    /// configured list, extended with node-scan HEM when
+    /// [`node_scan_hem`](GpParams::node_scan_hem) is set.
+    pub fn effective_matchings(&self) -> Vec<MatchingKind> {
+        let mut kinds = self.matchings.clone();
+        if self.node_scan_hem && !kinds.contains(&MatchingKind::HeavyEdgeNodeScan) {
+            kinds.push(MatchingKind::HeavyEdgeNodeScan);
+        }
+        kinds
     }
 }
 
@@ -136,5 +166,27 @@ mod tests {
         assert_eq!(MatchingKind::Random.to_string(), "random");
         assert_eq!(MatchingKind::HeavyEdge.to_string(), "heavy-edge");
         assert_eq!(MatchingKind::KMeans.to_string(), "k-means");
+        assert_eq!(MatchingKind::HeavyEdgeNodeScan.to_string(), "hem-node-scan");
+    }
+
+    #[test]
+    fn node_scan_flag_extends_the_tournament() {
+        let p = GpParams::default();
+        assert_eq!(p.effective_matchings(), MatchingKind::ALL.to_vec());
+        let p = GpParams {
+            node_scan_hem: true,
+            ..GpParams::default()
+        };
+        assert_eq!(
+            p.effective_matchings(),
+            MatchingKind::WITH_NODE_SCAN.to_vec()
+        );
+        // idempotent when the kind is already listed
+        let p = GpParams {
+            node_scan_hem: true,
+            matchings: MatchingKind::WITH_NODE_SCAN.to_vec(),
+            ..GpParams::default()
+        };
+        assert_eq!(p.effective_matchings().len(), 4);
     }
 }

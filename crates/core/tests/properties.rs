@@ -45,10 +45,92 @@ proptest! {
 
     #[test]
     fn all_matchings_are_valid(g in arb_graph(), seed in any::<u64>()) {
-        for kind in MatchingKind::ALL {
+        for kind in MatchingKind::WITH_NODE_SCAN {
             let m = run_matching(kind, &g, seed);
             prop_assert!(m.validate(&g), "{kind} produced an invalid matching");
         }
+    }
+
+    #[test]
+    fn all_matchings_track_absorbed_weight_exactly(g in arb_graph(), seed in any::<u64>()) {
+        for kind in MatchingKind::WITH_NODE_SCAN {
+            let m = run_matching(kind, &g, seed);
+            prop_assert_eq!(m.absorbed(), m.absorbed_weight(&g), "{} drifted", kind);
+        }
+    }
+
+    #[test]
+    fn fast_kmeans_assignment_equals_lloyd_scan(
+        values_i in proptest::collection::vec(any::<i32>(), 1..80),
+        centroids_i in proptest::collection::vec(any::<i32>(), 1..40),
+        dup_mask in any::<u64>()
+    ) {
+        // floats via integers: the vendored proptest shim has no float
+        // strategies, and integer-derived values still hit every branch
+        let values: Vec<f64> = values_i.iter().map(|&x| x as f64 / 64.0).collect();
+        let centroids: Vec<f64> = centroids_i.iter().map(|&x| x as f64 / 64.0).collect();
+        // as generated (generic position) …
+        prop_assert_eq!(
+            gp_core::kmeans::assign_fast(&values, &centroids),
+            gp_core::kmeans::assign_reference(&values, &centroids)
+        );
+        // … and with planted duplicates and exact-midpoint queries, the
+        // adversarial inputs for the bracketing tie-breaks
+        let mut centroids = centroids;
+        for i in 1..centroids.len() {
+            if dup_mask.rotate_left(i as u32) & 3 == 0 {
+                centroids[i] = centroids[i - 1];
+            }
+        }
+        let mut values = values;
+        for i in 0..values.len() {
+            let a = centroids[i % centroids.len()];
+            let b = centroids[(i * 7 + 1) % centroids.len()];
+            if dup_mask.rotate_right(i as u32) & 1 == 0 {
+                values[i] = (a + b) / 2.0;
+            }
+        }
+        prop_assert_eq!(
+            gp_core::kmeans::assign_fast(&values, &centroids),
+            gp_core::kmeans::assign_reference(&values, &centroids)
+        );
+    }
+
+    #[test]
+    fn fast_kmeans_equals_reference_on_node_weights(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        k_div in 1usize..9
+    ) {
+        let values: Vec<f64> = g.node_ids().map(|v| g.node_weight(v) as f64).collect();
+        let k = (values.len() / k_div).max(2).min(values.len());
+        prop_assert_eq!(
+            gp_core::kmeans::kmeans_1d(&values, k, seed, 32),
+            gp_core::kmeans::kmeans_1d_reference(&values, k, seed, 32)
+        );
+    }
+
+    #[test]
+    fn reference_and_optimized_coarsening_are_bit_identical(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        target in 2usize..8
+    ) {
+        let fast = gp_coarsen(&g, &MatchingKind::ALL, target, seed);
+        let slow = gp_core::gp_coarsen_reference(&g, &MatchingKind::ALL, target, seed);
+        prop_assert_eq!(fast.size_trace(), slow.size_trace());
+        prop_assert_eq!(fast.levels.len(), slow.levels.len());
+        for (a, b) in fast.levels.iter().zip(&slow.levels) {
+            prop_assert_eq!(a.matching_kind, b.matching_kind);
+            prop_assert_eq!(&a.map, &b.map);
+            let ea: Vec<_> = a.fine.edges().collect();
+            let eb: Vec<_> = b.fine.edges().collect();
+            prop_assert_eq!(ea, eb);
+            prop_assert_eq!(a.fine.node_weights(), b.fine.node_weights());
+        }
+        let ea: Vec<_> = fast.coarsest().edges().collect();
+        let eb: Vec<_> = slow.coarsest().edges().collect();
+        prop_assert_eq!(ea, eb);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! hypergraphs small.
 
 use crate::hypergraph::{Hypergraph, HypergraphBuilder, NetId};
-use ppn_graph::prng::{derive_seed, XorShift128Plus};
+use ppn_graph::prng::{derive_seed, splitmix64, XorShift128Plus};
 use ppn_graph::NodeId;
 use std::collections::HashMap;
 
@@ -85,13 +85,16 @@ pub fn heavy_connectivity_matching(hg: &Hypergraph, seed: u64) -> Vec<u32> {
     mate
 }
 
-/// Contract `hg` along a mate array, producing the coarse hypergraph and
-/// the fine→coarse map.
-pub fn contract(hg: &Hypergraph, mate: &[u32]) -> (Hypergraph, Vec<u32>) {
+/// First contraction pass, shared by the optimized and reference paths:
+/// merge matched pairs into coarse nodes and fill the fine→coarse map.
+fn build_coarse_nodes(
+    hg: &Hypergraph,
+    mate: &[u32],
+    map: &mut [u32],
+    b: &mut HypergraphBuilder,
+) -> usize {
     let n = hg.num_nodes();
-    assert_eq!(mate.len(), n, "mate/hypergraph mismatch");
-    let mut map = vec![u32::MAX; n];
-    let mut b = HypergraphBuilder::new();
+    let mut coarse_nodes = 0usize;
     for v in 0..n {
         if map[v] != u32::MAX {
             continue;
@@ -103,11 +106,145 @@ pub fn contract(hg: &Hypergraph, mate: &[u32]) -> (Hypergraph, Vec<u32>) {
             hg.node_weight(NodeId(v as u32))
         };
         let id = b.add_node(w);
+        coarse_nodes += 1;
         map[v] = id.0;
         if m != UNMATCHED {
             map[m as usize] = id.0;
         }
     }
+    coarse_nodes
+}
+
+/// Chain terminator in [`HyperContractScratch::next`].
+const NO_NET: u32 = u32::MAX;
+
+/// Reusable working memory for [`contract_with`]: pin-dedup epoch
+/// markers, the coarse-pin scratch, and the fingerprint table that
+/// replaces the per-net `(root, sorted Vec<u32>)` HashMap key. Held
+/// across levels by [`hyper_coarsen`], everything is `clear()`ed with
+/// capacity retained.
+#[derive(Clone, Debug, Default)]
+pub struct HyperContractScratch {
+    /// Epoch marker per coarse node: `seen[c] == epoch` iff `c` is a pin
+    /// of the net currently being re-pinned. Doubles as the set-equality
+    /// probe during bucket verification.
+    seen: Vec<u32>,
+    /// Current epoch (one per processed net).
+    epoch: u32,
+    /// Deduplicated coarse pins of the current net, first-occurrence
+    /// order (root first).
+    pins: Vec<u32>,
+    /// Order-independent fingerprint → head of the candidate chain.
+    heads: HashMap<u64, u32>,
+    /// Next coarse net in the same fingerprint bucket.
+    next: Vec<u32>,
+}
+
+impl HyperContractScratch {
+    /// Fresh (empty) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[inline]
+fn mix(x: u64) -> u64 {
+    let mut s = x;
+    splitmix64(&mut s)
+}
+
+/// Contract `hg` along a mate array, producing the coarse hypergraph and
+/// the fine→coarse map. Output-identical to [`contract_reference`]
+/// (property-tested) but the identical-net merge keys on an
+/// order-independent fingerprint — root, pin count, and a commutative
+/// sum of mixed pin hashes — verified exactly against the bucket's nets
+/// with the epoch marker, so no net ever allocates or sorts a `Vec` key.
+pub fn contract_with(
+    hg: &Hypergraph,
+    mate: &[u32],
+    scratch: &mut HyperContractScratch,
+) -> (Hypergraph, Vec<u32>) {
+    let n = hg.num_nodes();
+    assert_eq!(mate.len(), n, "mate/hypergraph mismatch");
+    let mut map = vec![u32::MAX; n];
+    let mut b = HypergraphBuilder::new();
+    let cn = build_coarse_nodes(hg, mate, &mut map, &mut b);
+
+    let s = scratch;
+    s.seen.clear();
+    s.seen.resize(cn, 0);
+    s.epoch = 0;
+    s.heads.clear();
+    s.next.clear();
+
+    let mut coarse_nets: Vec<(u64, Vec<NodeId>)> = Vec::new();
+    for e in hg.net_ids() {
+        s.epoch += 1;
+        // dedup pins through the map, first-occurrence order (root first)
+        s.pins.clear();
+        for &p in hg.pins(e) {
+            let c = map[p as usize];
+            if s.seen[c as usize] != s.epoch {
+                s.seen[c as usize] = s.epoch;
+                s.pins.push(c);
+            }
+        }
+        if s.pins.len() < 2 {
+            continue; // absorbed into one coarse node
+        }
+        let root = s.pins[0];
+        // order-independent fingerprint over the non-root pins
+        let mut acc = 0u64;
+        for &c in &s.pins[1..] {
+            acc = acc.wrapping_add(mix(c as u64 ^ 0x9E37_79B9_7F4A_7C15));
+        }
+        let fp = mix(acc ^ mix(root as u64) ^ ((s.pins.len() as u64) << 48));
+        let w = hg.net_weight(e);
+        // bucket walk: exact verification against each candidate via the
+        // epoch marker (a pin set equals ours iff same root, same length,
+        // and every candidate pin was marked by the dedup pass above)
+        let mut cand = s.heads.get(&fp).copied().unwrap_or(NO_NET);
+        let mut merged = false;
+        while cand != NO_NET {
+            let (_, ref cpins) = coarse_nets[cand as usize];
+            if cpins.len() == s.pins.len()
+                && cpins[0].0 == root
+                && cpins[1..].iter().all(|p| s.seen[p.index()] == s.epoch)
+            {
+                coarse_nets[cand as usize].0 += w;
+                merged = true;
+                break;
+            }
+            cand = s.next[cand as usize];
+        }
+        if !merged {
+            let idx = coarse_nets.len() as u32;
+            coarse_nets.push((w, s.pins.iter().map(|&c| NodeId(c)).collect()));
+            let prev = s.heads.insert(fp, idx).unwrap_or(NO_NET);
+            s.next.push(prev);
+        }
+    }
+    for (w, pins) in &coarse_nets {
+        b.add_net(*w, pins);
+    }
+    (b.build(), map)
+}
+
+/// Contract with a one-shot scratch; multilevel loops hold a
+/// [`HyperContractScratch`] and call [`contract_with`] instead.
+pub fn contract(hg: &Hypergraph, mate: &[u32]) -> (Hypergraph, Vec<u32>) {
+    contract_with(hg, mate, &mut HyperContractScratch::new())
+}
+
+/// The original contraction, keyed on `(root, sorted rest)` `Vec` keys —
+/// one allocation plus a sort per surviving net. Preserved verbatim as
+/// the property-test oracle and perf baseline.
+pub fn contract_reference(hg: &Hypergraph, mate: &[u32]) -> (Hypergraph, Vec<u32>) {
+    let n = hg.num_nodes();
+    assert_eq!(mate.len(), n, "mate/hypergraph mismatch");
+    let mut map = vec![u32::MAX; n];
+    let mut b = HypergraphBuilder::new();
+    let _ = build_coarse_nodes(hg, mate, &mut map, &mut b);
 
     // re-pin nets; merge nets with identical (root, pin set)
     let mut seen: HashMap<(u32, Vec<u32>), usize> = HashMap::new();
@@ -184,6 +321,7 @@ impl HyperHierarchy {
 pub fn hyper_coarsen(hg: &Hypergraph, coarsen_to: usize, seed: u64) -> HyperHierarchy {
     let mut levels = Vec::new();
     let mut current = hg.clone();
+    let mut scratch = HyperContractScratch::new();
     let mut round = 0u64;
     while current.num_nodes() > coarsen_to {
         let mate = heavy_connectivity_matching(&current, derive_seed(seed, 0x6C + round));
@@ -192,7 +330,7 @@ pub fn hyper_coarsen(hg: &Hypergraph, coarsen_to: usize, seed: u64) -> HyperHier
         if coarse_nodes as f64 > current.num_nodes() as f64 * 0.95 {
             break; // stalled (e.g. one giant net)
         }
-        let (coarse, map) = contract(&current, &mate);
+        let (coarse, map) = contract_with(&current, &mate, &mut scratch);
         levels.push(HyperLevel { fine: current, map });
         current = coarse;
         round += 1;
@@ -303,6 +441,36 @@ mod tests {
         assert_eq!(coarse.num_nodes(), 1);
         assert_eq!(coarse.num_nets(), 0);
         assert_eq!(map, vec![0, 0]);
+    }
+
+    #[test]
+    fn fingerprint_merge_matches_hashmap_reference() {
+        let mut scratch = HyperContractScratch::new();
+        for seed in 0..12 {
+            let hg = ring(24, 3);
+            let mate = heavy_connectivity_matching(&hg, seed);
+            let (c_opt, map_opt) = contract_with(&hg, &mate, &mut scratch);
+            let (c_ref, map_ref) = contract_reference(&hg, &mate);
+            assert_eq!(map_opt, map_ref, "seed {seed}");
+            assert_eq!(c_opt, c_ref, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_merge_handles_parallel_and_permuted_nets() {
+        // the identical_nets_merge_weights topology, where equality holds
+        // only under set semantics (permuted pin order)
+        let mut b = HypergraphBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_node(1)).collect();
+        b.add_net(4, &[n[0], n[1], n[2]]);
+        b.add_net(5, &[n[0], n[2], n[1]]);
+        b.add_net(2, &[n[2], n[3]]);
+        let hg = b.build();
+        let mate = vec![UNMATCHED, 2, 1, UNMATCHED];
+        let (c_opt, map_opt) = contract(&hg, &mate);
+        let (c_ref, map_ref) = contract_reference(&hg, &mate);
+        assert_eq!(map_opt, map_ref);
+        assert_eq!(c_opt, c_ref);
     }
 
     #[test]

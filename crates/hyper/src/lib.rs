@@ -39,7 +39,8 @@ pub mod multilevel;
 pub mod refine;
 
 pub use coarsen::{
-    contract, heavy_connectivity_matching, hyper_coarsen, HyperHierarchy, HyperLevel,
+    contract, contract_reference, contract_with, heavy_connectivity_matching, hyper_coarsen,
+    HyperContractScratch, HyperHierarchy, HyperLevel,
 };
 pub use connectivity::{BandwidthMatrix, NetConnectivity};
 pub use hypergraph::{Hypergraph, HypergraphBuilder, NetId};

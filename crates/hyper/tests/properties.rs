@@ -8,7 +8,10 @@ use gp_core::{gp_partition, GpParams};
 use ppn_graph::metrics::CutMatrix;
 use ppn_graph::prng::XorShift128Plus;
 use ppn_graph::{Constraints, NodeId, Partition, WeightedGraph};
-use ppn_hyper::{hyper_partition, HyperParams, HyperQuality, Hypergraph, NetConnectivity};
+use ppn_hyper::{
+    hyper_partition, HyperContractScratch, HyperParams, HyperQuality, Hypergraph,
+    HypergraphBuilder, NetConnectivity,
+};
 use proptest::prelude::*;
 
 /// Random connected weighted graph strategy (the 2-pin-net source).
@@ -51,6 +54,55 @@ fn ppn_gen_like(n: usize, m: usize, seed: u64) -> WeightedGraph {
         added += 1;
     }
     g
+}
+
+/// Random multicast-ish hypergraph: every node roots a few nets over
+/// random co-pins, weights varied, plus planted duplicate nets (same
+/// root, permuted pins) so the identical-net merge has real work.
+fn random_hypergraph(n: usize, seed: u64) -> Hypergraph {
+    let mut rng = XorShift128Plus::new(seed);
+    let mut b = HypergraphBuilder::new();
+    let ids: Vec<_> = (0..n)
+        .map(|_| b.add_node(1 + rng.next_below(9) as u64))
+        .collect();
+    for v in 0..n {
+        let nets = 1 + rng.next_below(3);
+        for _ in 0..nets {
+            let fanout = 1 + rng.next_below(4.min(n - 1));
+            let mut pins = vec![ids[v]];
+            for _ in 0..fanout {
+                pins.push(ids[rng.next_below(n)]);
+            }
+            let w = 1 + rng.next_below(7) as u64;
+            if pins.iter().skip(1).any(|&p| p != pins[0]) {
+                b.add_net(w, &pins);
+                if rng.next_below(3) == 0 {
+                    // duplicate with permuted non-root pins
+                    pins[1..].reverse();
+                    b.add_net(w + 1, &pins);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random mate array: repeatedly pair two distinct unmatched nodes.
+fn random_mate(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = XorShift128Plus::new(seed);
+    let mut mate = vec![ppn_hyper::coarsen::UNMATCHED; n];
+    for _ in 0..n {
+        let a = rng.next_below(n);
+        let b = rng.next_below(n);
+        if a != b
+            && mate[a] == ppn_hyper::coarsen::UNMATCHED
+            && mate[b] == ppn_hyper::coarsen::UNMATCHED
+        {
+            mate[a] = b as u32;
+            mate[b] = a as u32;
+        }
+    }
+    mate
 }
 
 fn random_partition(n: usize, k: usize, seed: u64) -> Partition {
@@ -99,6 +151,25 @@ proptest! {
             p.assign(v, to);
             prop_assert_eq!(s.connectivity_cost(), cut.total_cut());
             prop_assert_eq!(s.tracked_excess(), cut.tracked_excess());
+        }
+    }
+
+    #[test]
+    fn fingerprint_net_merge_equals_hashmap_reference(
+        n in 3usize..28,
+        hseed in any::<u64>(),
+        mseeds in proptest::collection::vec(any::<u64>(), 1..4)
+    ) {
+        // one scratch reused across matings — the multilevel usage
+        let hg = random_hypergraph(n, hseed);
+        hg.validate().unwrap();
+        let mut scratch = HyperContractScratch::new();
+        for mseed in mseeds {
+            let mate = random_mate(n, mseed);
+            let (c_opt, map_opt) = ppn_hyper::contract_with(&hg, &mate, &mut scratch);
+            let (c_ref, map_ref) = ppn_hyper::contract_reference(&hg, &mate);
+            prop_assert_eq!(map_opt, map_ref);
+            prop_assert_eq!(c_opt, c_ref);
         }
     }
 

@@ -179,6 +179,22 @@ impl WeightedGraph {
         Ok(())
     }
 
+    /// Append `u -- v` with weight `w` without the duplicate-edge probe.
+    /// Contraction calls this after its marker pass has already merged
+    /// parallel edges, so the O(degree) `find_edge` scan inside
+    /// [`add_or_merge_edge`](WeightedGraph::add_or_merge_edge) would only
+    /// re-verify what the caller guarantees (debug-asserted here).
+    pub(crate) fn push_edge_unchecked(&mut self, u: NodeId, v: NodeId, w: u64) -> EdgeId {
+        debug_assert!(u != v, "self loop");
+        debug_assert!(w > 0, "zero weight");
+        debug_assert!(u.index() < self.num_nodes() && v.index() < self.num_nodes());
+        debug_assert!(
+            self.find_edge(u, v).is_none(),
+            "duplicate edge {u:?}--{v:?}"
+        );
+        self.push_edge(u, v, w)
+    }
+
     fn push_edge(&mut self, u: NodeId, v: NodeId, w: u64) -> EdgeId {
         let id = EdgeId::from_index(self.edges.len());
         self.edges.push((u, v, w));

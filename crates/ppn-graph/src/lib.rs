@@ -35,7 +35,7 @@ pub mod prng;
 
 pub use boundary::Boundary;
 pub use constraints::{ConstraintReport, Constraints};
-pub use contract::{contract, CoarseMap};
+pub use contract::{contract, contract_reference, contract_with, CoarseMap, ContractScratch};
 pub use csr::Csr;
 pub use error::GraphError;
 pub use graph::WeightedGraph;

@@ -13,16 +13,36 @@ use crate::prng::XorShift128Plus;
 /// A matching over the nodes of a graph: `mate[v]` is `Some(u)` iff edge
 /// `(v, u)` belongs to the matching. Unmatched nodes have `None` and are
 /// carried over to the coarse graph as singletons.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct Matching {
     mate: Vec<Option<NodeId>>,
+    /// Sum of matched-edge weights, maintained by
+    /// [`add_pair_absorbing`](Matching::add_pair_absorbing). The coarsening
+    /// tournament compares matchings by this quantity at every level, so
+    /// it must be O(1) — the authoritative full scan survives as
+    /// [`absorbed_weight`](Matching::absorbed_weight) and the two are
+    /// property-tested to agree for every heuristic.
+    absorbed: u64,
 }
+
+/// Equality is over the pairing only: a matching built with
+/// [`add_pair`](Matching::add_pair) equals one with the same pairs built
+/// with [`add_pair_absorbing`](Matching::add_pair_absorbing), even though
+/// their tracked [`absorbed`](Matching::absorbed) counters differ.
+impl PartialEq for Matching {
+    fn eq(&self, other: &Self) -> bool {
+        self.mate == other.mate
+    }
+}
+
+impl Eq for Matching {}
 
 impl Matching {
     /// Empty matching over `n` nodes.
     pub fn empty(n: usize) -> Self {
         Matching {
             mate: vec![None; n],
+            absorbed: 0,
         }
     }
 
@@ -60,6 +80,28 @@ impl Matching {
         debug_assert!(self.mate[v.index()].is_none(), "{v:?} already matched");
         self.mate[u.index()] = Some(v);
         self.mate[v.index()] = Some(u);
+    }
+
+    /// Record the pair `(u, v)` and credit the weight of the matched edge
+    /// to the running absorbed total. Every matching heuristic pairs
+    /// endpoints of an edge it is currently looking at, so the weight is
+    /// already in hand — recording it here makes
+    /// [`absorbed`](Matching::absorbed) O(1) where the scan in
+    /// [`absorbed_weight`](Matching::absorbed_weight) pays a `find_edge`
+    /// probe per matched pair.
+    pub fn add_pair_absorbing(&mut self, u: NodeId, v: NodeId, w: u64) {
+        self.add_pair(u, v);
+        self.absorbed += w;
+    }
+
+    /// Incrementally tracked absorbed weight: the sum of the `w` values
+    /// passed to [`add_pair_absorbing`](Matching::add_pair_absorbing).
+    /// Equals [`absorbed_weight`](Matching::absorbed_weight) whenever
+    /// every pair was added through the absorbing entry point with its
+    /// matched edge's weight (all in-tree heuristics do).
+    #[inline]
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed
     }
 
     /// Number of nodes this matching is defined over.
@@ -110,7 +152,9 @@ impl Matching {
     }
 
     /// Sum of the edge weights absorbed by the matching (weight hidden
-    /// inside coarse nodes after contraction).
+    /// inside coarse nodes after contraction). This is the reference
+    /// O(matched · degree) scan; hot paths read the incrementally
+    /// maintained [`absorbed`](Matching::absorbed) instead.
     pub fn absorbed_weight(&self, g: &WeightedGraph) -> u64 {
         let mut s = 0;
         for v in g.node_ids() {
@@ -133,7 +177,7 @@ pub fn random_maximal_matching(g: &WeightedGraph, seed: u64) -> Matching {
     let mut order: Vec<NodeId> = g.node_ids().collect();
     rng.shuffle(&mut order);
     let mut m = Matching::empty(g.num_nodes());
-    let mut candidates = Vec::new();
+    let mut candidates: Vec<(NodeId, crate::ids::EdgeId)> = Vec::new();
     for v in order {
         if m.is_matched(v) {
             continue;
@@ -143,13 +187,13 @@ pub fn random_maximal_matching(g: &WeightedGraph, seed: u64) -> Matching {
             g.neighbors(v)
                 .iter()
                 .filter(|&&(u, _)| !m.is_matched(u))
-                .map(|&(u, _)| u),
+                .copied(),
         );
         if candidates.is_empty() {
             continue;
         }
-        let u = candidates[rng.next_below(candidates.len())];
-        m.add_pair(v, u);
+        let (u, e) = candidates[rng.next_below(candidates.len())];
+        m.add_pair_absorbing(v, u, g.edge_weight(e));
     }
     m
 }
@@ -245,6 +289,32 @@ mod tests {
         m.add_pair(a, b);
         m.add_pair(c, d);
         assert_eq!(m.absorbed_weight(&g), 12);
+    }
+
+    #[test]
+    fn add_pair_absorbing_tracks_the_scan() {
+        let mut g = WeightedGraph::new();
+        let a = g.add_node(1);
+        let b = g.add_node(1);
+        let c = g.add_node(1);
+        let d = g.add_node(1);
+        g.add_edge(a, b, 5).unwrap();
+        g.add_edge(c, d, 7).unwrap();
+        let mut m = Matching::empty(4);
+        assert_eq!(m.absorbed(), 0);
+        m.add_pair_absorbing(a, b, 5);
+        m.add_pair_absorbing(c, d, 7);
+        assert_eq!(m.absorbed(), 12);
+        assert_eq!(m.absorbed(), m.absorbed_weight(&g));
+    }
+
+    #[test]
+    fn random_matching_absorbed_is_exact() {
+        let g = path(17);
+        for seed in 0..10 {
+            let m = random_maximal_matching(&g, seed);
+            assert_eq!(m.absorbed(), m.absorbed_weight(&g), "seed {seed}");
+        }
     }
 
     #[test]

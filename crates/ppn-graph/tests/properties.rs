@@ -69,6 +69,33 @@ proptest! {
     }
 
     #[test]
+    fn scratch_contract_equals_reference(g in arb_graph(), seeds in proptest::collection::vec(any::<u64>(), 1..4)) {
+        // one scratch reused across several matchings of the same graph —
+        // exactly the multilevel loop's usage pattern
+        let mut scratch = ppn_graph::ContractScratch::new();
+        for seed in seeds {
+            let m = random_maximal_matching(&g, seed);
+            let (c_opt, map_opt) = ppn_graph::contract_with(&g, &m, &mut scratch);
+            let (c_ref, map_ref) = ppn_graph::contract_reference(&g, &m);
+            prop_assert_eq!(map_opt, map_ref);
+            prop_assert_eq!(c_opt.num_nodes(), c_ref.num_nodes());
+            prop_assert_eq!(c_opt.node_weights(), c_ref.node_weights());
+            let eo: Vec<_> = c_opt.edges().collect();
+            let er: Vec<_> = c_ref.edges().collect();
+            prop_assert_eq!(eo, er);
+            for v in c_opt.node_ids() {
+                prop_assert_eq!(c_opt.neighbors(v), c_ref.neighbors(v));
+            }
+        }
+    }
+
+    #[test]
+    fn matching_absorbed_tracks_scan(g in arb_graph(), seed in any::<u64>()) {
+        let m = random_maximal_matching(&g, seed);
+        prop_assert_eq!(m.absorbed(), m.absorbed_weight(&g));
+    }
+
+    #[test]
     fn projected_cut_matches_coarse_cut(g in arb_graph(), seed in any::<u64>(), k in 2usize..5) {
         let m = random_maximal_matching(&g, seed);
         let (c, map) = contract(&g, &m);
