@@ -1,0 +1,107 @@
+//! # ppn-backend
+//!
+//! The unified [`Partitioner`] contract over every partitioning engine
+//! in the workspace, the registry that makes them interchangeable, and
+//! the generated instance families the cross-backend conformance suite
+//! runs them on.
+//!
+//! "High-Quality Hypergraph Partitioning" (Schlag et al.) argues that
+//! multiple engines sharing one substrate is what makes quality
+//! comparisons meaningful at all. This crate is that shared substrate's
+//! front door:
+//!
+//! * a *problem instance* is a graph — optionally paired with the
+//!   multicast hypergraph view of the same network — plus `k` and the
+//!   paper's `Rmax`/`Bmax` constraints ([`PartitionInstance`]);
+//! * an *outcome* is an assignment, a cost report under the backend's
+//!   native cost model, a feasibility verdict with the full constraint
+//!   report, and per-phase wall-clock timings ([`PartitionOutcome`]);
+//! * a *backend* is anything implementing [`Partitioner`]. Five ship
+//!   here ([`registry::backends`]): the paper's cyclic k-way GP
+//!   (`gp`), constrained multilevel recursive bisection (`rb`), flat
+//!   recursive bisection + greedy k-way refinement (`kway`), the
+//!   unconstrained METIS-style baseline (`metis`), and the
+//!   connectivity-metric hypergraph engine (`hyper`).
+//!
+//! Every backend honours the same contract: it never panics on
+//! degenerate input (`k > n`, impossible `Rmax`), always returns a
+//! complete assignment, and reports a verdict that matches an
+//! independent re-check of the returned partition — properties the
+//! differential suite in `tests/partitioner_matrix.rs` (repo root)
+//! asserts for every backend × instance × seed cell.
+
+pub mod backends;
+pub mod instance;
+pub mod outcome;
+pub mod registry;
+pub mod suite;
+
+pub use backends::{GpBackend, HyperBackend, KwayBackend, MetisBackend, RbBackend};
+pub use instance::PartitionInstance;
+pub use outcome::{CostModel, CostReport, PartitionOutcome, PhaseTiming};
+pub use registry::{backend_by_name, backend_names, backends};
+pub use suite::{conformance_matrix, degenerate_matrix, infeasible_matrix, reference_verify};
+
+use ppn_graph::Constraints;
+
+/// A k-way partitioning engine behind the unified contract.
+///
+/// `run` must be total: any [`PartitionInstance`] — including `k > n`
+/// and constraint sets no partition can satisfy — yields a complete
+/// best-attempt [`PartitionOutcome`], never a panic. The verdict is
+/// whatever an independent re-check of the returned partition gives
+/// under the backend's [`CostModel`]. The same `(instance, seed)` pair
+/// must reproduce the identical partition.
+pub trait Partitioner {
+    /// Registry name (`gp`, `rb`, `kway`, `metis`, `hyper`).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `gp backends` and docs.
+    fn description(&self) -> &'static str;
+
+    /// The cost model the outcome's objective and feasibility use.
+    fn cost_model(&self) -> CostModel;
+
+    /// Partition the instance with the given seed.
+    fn run(&self, inst: &PartitionInstance, seed: u64) -> PartitionOutcome;
+}
+
+/// Convenience: resolve a backend by name and run it.
+pub fn run_backend(
+    name: &str,
+    inst: &PartitionInstance,
+    seed: u64,
+) -> Result<PartitionOutcome, String> {
+    let b = backend_by_name(name).ok_or_else(|| {
+        format!(
+            "unknown backend `{name}` (available: {})",
+            backend_names().join(", ")
+        )
+    })?;
+    Ok(b.run(inst, seed))
+}
+
+/// The constraints every backend treats as "effectively unconstrained"
+/// in doc examples and smoke tests.
+pub fn generous_constraints(inst: &PartitionInstance) -> Constraints {
+    Constraints::new(
+        inst.graph.total_node_weight().max(1),
+        inst.graph.total_edge_weight().max(1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppn_gen::community_graph;
+
+    #[test]
+    fn run_backend_resolves_and_rejects() {
+        let g = community_graph(2, 6, 1, 8, 1, 5);
+        let c = Constraints::new(g.total_node_weight(), g.total_edge_weight());
+        let inst = PartitionInstance::from_graph("t", g, 2, c);
+        let out = run_backend("gp", &inst, 7).unwrap();
+        assert!(out.partition.is_complete());
+        assert!(run_backend("nope", &inst, 7).is_err());
+    }
+}

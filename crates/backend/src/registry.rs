@@ -1,0 +1,56 @@
+//! The backend registry: every engine, addressable by name.
+
+use crate::backends::{GpBackend, HyperBackend, KwayBackend, MetisBackend, RbBackend};
+use crate::Partitioner;
+
+/// All registered backends with their default parameters, in the
+/// canonical presentation order.
+pub fn backends() -> Vec<Box<dyn Partitioner>> {
+    vec![
+        Box::new(GpBackend::default()),
+        Box::new(RbBackend::default()),
+        Box::new(KwayBackend::default()),
+        Box::new(MetisBackend::default()),
+        Box::new(HyperBackend::default()),
+    ]
+}
+
+/// Canonical backend names, in presentation order.
+pub fn backend_names() -> Vec<&'static str> {
+    backends().iter().map(|b| b.name()).collect()
+}
+
+/// Resolve a backend by canonical name or alias (`baseline` → `metis`,
+/// the CLI's historical flag).
+pub fn backend_by_name(name: &str) -> Option<Box<dyn Partitioner>> {
+    let canonical = match name {
+        "baseline" => "metis",
+        other => other,
+    };
+    backends().into_iter().find(|b| b.name() == canonical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lists_all_five_backends() {
+        assert_eq!(backend_names(), vec!["gp", "rb", "kway", "metis", "hyper"]);
+    }
+
+    #[test]
+    fn names_resolve_to_themselves() {
+        for name in backend_names() {
+            let b = backend_by_name(name).expect(name);
+            assert_eq!(b.name(), name);
+            assert!(!b.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn baseline_alias_resolves_to_metis() {
+        assert_eq!(backend_by_name("baseline").unwrap().name(), "metis");
+        assert!(backend_by_name("frobnicate").is_none());
+    }
+}

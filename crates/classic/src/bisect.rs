@@ -27,6 +27,17 @@ pub struct BisectOptions {
     pub fm_passes: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Absolute per-side weight caps. When set they replace the
+    /// balance-derived caps — constrained recursive bisection uses this
+    /// to hand each side its share of an `Rmax` budget.
+    pub max_side_weight: Option<[u64; 2]>,
+    /// Cut budget: candidates whose cut exceeds this count as
+    /// infeasible in the restart selection (feasible-first, then
+    /// lowest cut). Constrained recursive bisection sets it to
+    /// `k0·k1·Bmax` — the traffic of every final part pair crossing
+    /// this split must fit through `k0·k1` links; at a leaf split the
+    /// bound is exact, because the pair's traffic *is* this cut.
+    pub max_cut: Option<u64>,
 }
 
 impl Default for BisectOptions {
@@ -37,6 +48,8 @@ impl Default for BisectOptions {
             balance: 1.05,
             fm_passes: 8,
             seed: 1,
+            max_side_weight: None,
+            max_cut: None,
         }
     }
 }
@@ -51,22 +64,33 @@ pub struct Bisection {
 }
 
 /// Bisect `g` by growing from random seeds and refining with FM; the best
-/// (balance-feasible first, then lowest-cut) candidate wins.
+/// (feasible first, then lowest-cut) candidate wins.
 pub fn bisect(g: &WeightedGraph, opts: &BisectOptions) -> Bisection {
+    bisect_candidates(g, opts)
+        .into_iter()
+        .next()
+        .expect("at least one candidate")
+}
+
+/// All distinct restart candidates of [`bisect`], best first (feasible
+/// candidates before infeasible ones, then by cut, ties in restart
+/// order). Constrained recursive bisection branches over this list when
+/// the top candidate dooms a descendant subproblem.
+pub fn bisect_candidates(g: &WeightedGraph, opts: &BisectOptions) -> Vec<Bisection> {
     let n = g.num_nodes();
     if n == 0 {
-        return Bisection {
+        return vec![Bisection {
             partition: Partition::unassigned(0, 2),
             cut: 0,
-        };
+        }];
     }
     let total = g.total_node_weight();
     let target0 = (total as f64 * opts.target0_frac).round() as u64;
     let target1 = total - target0;
-    let caps = [
+    let caps = opts.max_side_weight.unwrap_or([
         ((target0 as f64) * opts.balance).ceil() as u64,
         ((target1 as f64) * opts.balance).ceil() as u64,
-    ];
+    ]);
     let fm_opts = FmOptions {
         max_passes: opts.fm_passes,
         max_side_weight: caps,
@@ -74,7 +98,7 @@ pub fn bisect(g: &WeightedGraph, opts: &BisectOptions) -> Bisection {
     };
 
     let mut rng = XorShift128Plus::new(derive_seed(opts.seed, 0xB15EC7));
-    let mut best: Option<(bool, u64, Partition)> = None;
+    let mut candidates: Vec<(bool, u64, Partition)> = Vec::new();
     for r in 0..opts.restarts.max(1) {
         // restart 0 always starts from the heaviest node for
         // reproducibility; later restarts are random
@@ -96,22 +120,19 @@ pub fn bisect(g: &WeightedGraph, opts: &BisectOptions) -> Bisection {
             fm_refine_bisection(g, &mut p, &fm_opts);
         }
         let w = p.part_weights(g);
-        let feasible = w[0] <= caps[0] && w[1] <= caps[1];
         let cut = edge_cut(g, &p);
-        let better = match &best {
-            None => true,
-            Some((bf, bc, _)) => match (feasible, *bf) {
-                (true, false) => true,
-                (false, true) => false,
-                _ => cut < *bc,
-            },
-        };
-        if better {
-            best = Some((feasible, cut, p));
+        let feasible =
+            w[0] <= caps[0] && w[1] <= caps[1] && opts.max_cut.is_none_or(|mc| cut <= mc);
+        if !candidates.iter().any(|(_, _, q)| *q == p) {
+            candidates.push((feasible, cut, p));
         }
     }
-    let (_, cut, partition) = best.expect("at least one restart");
-    Bisection { partition, cut }
+    // stable sort: feasible first, then cut, ties in restart order
+    candidates.sort_by_key(|&(feasible, cut, _)| (!feasible, cut));
+    candidates
+        .into_iter()
+        .map(|(_, cut, partition)| Bisection { partition, cut })
+        .collect()
 }
 
 /// Recursively bisect `g` into `k` parts. The weight share assigned to
@@ -150,6 +171,8 @@ fn rb_recurse(
         balance,
         fm_passes: 8,
         seed: derive_seed(seed, part_base as u64 + k as u64 * 131),
+        max_side_weight: None,
+        max_cut: None,
     };
     let bi = bisect(&sub, &opts);
     let mut side0 = Vec::new();
@@ -249,6 +272,55 @@ mod tests {
         let w = b.partition.part_weights(&g);
         assert!(w[0] <= 6, "side 0 should hold ~4 of 16: {w:?}");
         assert!(w[0] >= 2, "side 0 shouldn't be empty-ish: {w:?}");
+    }
+
+    #[test]
+    fn candidates_are_distinct_and_lead_with_the_winner() {
+        let g = ladder(8);
+        let cands = bisect_candidates(&g, &BisectOptions::default());
+        assert!(!cands.is_empty());
+        assert_eq!(
+            cands[0].partition,
+            bisect(&g, &BisectOptions::default()).partition
+        );
+        for i in 0..cands.len() {
+            for j in (i + 1)..cands.len() {
+                assert_ne!(cands[i].partition, cands[j].partition, "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn cut_budget_demotes_over_budget_candidates() {
+        let g = ladder(8);
+        let unbounded = bisect(&g, &BisectOptions::default());
+        // a budget below the best cut makes every candidate infeasible —
+        // selection still returns the lowest-cut one
+        let opts = BisectOptions {
+            max_cut: Some(unbounded.cut.saturating_sub(1)),
+            ..Default::default()
+        };
+        let bounded = bisect(&g, &opts);
+        assert_eq!(bounded.cut, unbounded.cut);
+        // a generous budget changes nothing
+        let opts = BisectOptions {
+            max_cut: Some(u64::MAX),
+            ..Default::default()
+        };
+        assert_eq!(bisect(&g, &opts).partition, unbounded.partition);
+    }
+
+    #[test]
+    fn absolute_side_caps_override_balance() {
+        let g = ladder(8); // total weight 16, uniform
+        let opts = BisectOptions {
+            max_side_weight: Some([5, 16]),
+            ..Default::default()
+        };
+        let b = bisect(&g, &opts);
+        let w = b.partition.part_weights(&g);
+        assert!(w[0] <= 5, "side 0 must respect its absolute cap: {w:?}");
+        assert!(b.partition.is_complete());
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod matching;
 pub mod spectral;
 pub mod subgraph;
 
-pub use bisect::{bisect, recursive_bisection, BisectOptions, Bisection};
+pub use bisect::{bisect, bisect_candidates, recursive_bisection, BisectOptions, Bisection};
 pub use fm::{fm_refine_bisection, FmOptions, FmOutcome};
 pub use grow::greedy_grow_bisection;
 pub use kl::kl_refine_bisection;

@@ -2,31 +2,33 @@
 //!
 //! ```text
 //! gp partition --input graph.metis --k 4 --rmax 165 --bmax 16 [--format metis|matrix|json|ppn]
-//!              [--model edge|hyper] [--seed N] [--baseline] [--dot out.dot] [--out partition.json]
-//! gp demo [1|2|3]      # run a paper experiment instance (GP, baseline, hyper)
+//!              [--backend gp|rb|kway|metis|hyper] [--model edge|hyper] [--seed N]
+//!              [--baseline] [--dot out.dot] [--out partition.json]
+//! gp backends          # list the registered partitioner backends
+//! gp demo [1|2|3]      # run a paper experiment instance across every backend
 //! gp gen --nodes N --edges M --seed S > graph.metis
 //! gp gen --multicast --stars S --fanout F [--seed N] > net.ppn.json
 //! ```
 //!
-//! `--model hyper` partitions under the connectivity metric: channels
-//! become hypergraph nets and a multicast stream's bandwidth is charged
-//! once per spanned FPGA boundary. `--format ppn` reads a
-//! `ProcessNetwork` JSON (as written by `gp gen --multicast`), the only
-//! format that carries multicast structure.
+//! Every engine sits behind the `ppn-backend` registry: `--backend`
+//! selects one by name (`--baseline` stays as an alias for `metis`;
+//! `--model hyper` defaults the backend to `hyper`). `--format ppn`
+//! reads a `ProcessNetwork` JSON (as written by `gp gen --multicast`),
+//! the only format that carries multicast structure; hypergraph-model
+//! backends on other formats see the degenerate 2-pin embedding.
 
-use gp_core::{GpParams, GpPartitioner};
-use metis_lite::MetisOptions;
+use ppn_backend::{backend_by_name, backend_names, backends, CostModel, PartitionInstance};
 use ppn_graph::io::dot::{to_dot, DotOptions};
 use ppn_graph::io::{json, matrix, metis};
-use ppn_graph::metrics::PartitionQuality;
 use ppn_graph::{Constraints, WeightedGraph};
-use ppn_hyper::{hyper_partition, HyperParams, HyperQuality, Hypergraph};
+use ppn_hyper::Hypergraph;
 use ppn_model::{lower_to_graph, lower_to_hypergraph, LoweringOptions, ProcessNetwork};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  gp partition --input FILE --k K --rmax R --bmax B \\\n      [--format metis|matrix|json|ppn] [--model edge|hyper] [--seed N] [--baseline] \\\n      [--dot FILE] [--out FILE]\n  gp demo [1|2|3]\n  gp gen --nodes N --edges M [--seed S]\n  gp gen --multicast --stars S --fanout F [--seed N]"
+        "usage:\n  gp partition --input FILE --k K --rmax R --bmax B \\\n      [--format metis|matrix|json|ppn] [--backend {}] \\\n      [--model edge|hyper] [--seed N] [--baseline] [--dot FILE] [--out FILE]\n  gp backends\n  gp demo [1|2|3]\n  gp gen --nodes N --edges M [--seed S]\n  gp gen --multicast --stars S --fanout F [--seed N]",
+        backend_names().join("|")
     );
     ExitCode::from(2)
 }
@@ -86,86 +88,107 @@ fn cmd_partition(args: &[String]) -> ExitCode {
         eprintln!("error: unknown model `{model}` (expected edge|hyper)");
         return usage();
     }
+    // backend resolution: explicit --backend wins; --baseline and
+    // --model hyper keep their historical meanings as defaults
+    let backend_name = match arg_value(args, "--backend") {
+        Some(name) => {
+            if has_flag(args, "--baseline") {
+                eprintln!("error: --baseline and --backend are mutually exclusive");
+                return usage();
+            }
+            name
+        }
+        None if has_flag(args, "--baseline") => "metis".to_string(),
+        None if model == "hyper" => "hyper".to_string(),
+        None => "gp".to_string(),
+    };
+    let Some(backend) = backend_by_name(&backend_name) else {
+        eprintln!(
+            "error: unknown backend `{backend_name}` (available: {})",
+            backend_names().join(", ")
+        );
+        return usage();
+    };
+    // an explicitly requested model must match the backend's cost
+    // model — silently reporting edge-cut numbers for a `--model
+    // hyper` request (or vice versa) would be worse than an error
+    if arg_value(args, "--model").is_some() {
+        let wanted = if model == "hyper" {
+            CostModel::Connectivity
+        } else {
+            CostModel::EdgeCut
+        };
+        if backend.cost_model() != wanted {
+            eprintln!(
+                "error: --model {model} needs a {wanted} backend, but `{}` reports {}",
+                backend.name(),
+                backend.cost_model()
+            );
+            return usage();
+        }
+    }
     let seed = arg_value(args, "--seed")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0xCA77Au64);
-    let inst = match load_instance(&input, &format, model == "hyper") {
+    let want_hyper = model == "hyper" || backend.cost_model() == CostModel::Connectivity;
+    let loaded = match load_instance(&input, &format, want_hyper) {
         Ok(i) => i,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let mut inst =
+        PartitionInstance::from_graph(&input, loaded.graph, k, Constraints::new(rmax, bmax));
+    if let Some(hg) = loaded.hyper {
+        inst = inst.with_hypergraph(hg);
+    }
+
+    let outcome = backend.run(&inst, seed);
+    if !outcome.feasible {
+        eprintln!(
+            "warning: backend {} did not meet the constraints: {}",
+            outcome.backend,
+            outcome.report.summary()
+        );
+    }
     let g = &inst.graph;
-    let constraints = Constraints::new(rmax, bmax);
-
-    let (partition, feasible) = if model == "hyper" {
-        if has_flag(args, "--baseline") {
-            eprintln!("error: --baseline applies to the edge model only");
-            return usage();
+    match outcome.cost.model {
+        CostModel::Connectivity => {
+            let hg = inst.hyper_view();
+            let edge_cut = ppn_graph::metrics::edge_cut(g, &outcome.partition);
+            println!(
+                "backend={} nodes={} nets={} k={k} conn_cost={} cut_nets={} edge_cut_model={} max_resource={} max_local_bandwidth={} => {}",
+                outcome.backend,
+                hg.num_nodes(),
+                hg.num_nets(),
+                outcome.cost.objective,
+                outcome.cost.cut_nets.unwrap_or(0),
+                edge_cut,
+                outcome.cost.max_resource,
+                outcome.cost.max_local_bandwidth,
+                outcome.report.summary()
+            );
         }
-        match hyper_partition(
-            inst.hyper.as_ref().expect("hyper model loads a hypergraph"),
-            k,
-            &constraints,
-            &HyperParams::default().with_seed(seed),
-        ) {
-            Ok(r) => (r.partition, true),
-            Err(e) => {
-                eprintln!("warning: {e}");
-                (e.best.partition.clone(), false)
-            }
+        CostModel::EdgeCut => {
+            println!(
+                "backend={} nodes={} edges={} k={k} cut={} max_resource={} max_local_bandwidth={} => {}",
+                outcome.backend,
+                g.num_nodes(),
+                g.num_edges(),
+                outcome.cost.objective,
+                outcome.cost.max_resource,
+                outcome.cost.max_local_bandwidth,
+                outcome.report.summary()
+            );
         }
-    } else if has_flag(args, "--baseline") {
-        let r = metis_lite::kway_partition(g, k, &MetisOptions::default().with_seed(seed));
-        let ok = constraints.is_feasible(g, &r.partition);
-        (r.partition, ok)
-    } else {
-        match GpPartitioner::new(GpParams::default().with_seed(seed)).partition(g, k, &constraints)
-        {
-            Ok(r) => (r.partition, true),
-            Err(e) => {
-                eprintln!("warning: {e}");
-                (e.best.partition.clone(), false)
-            }
-        }
-    };
-
-    if model == "hyper" {
-        let hg = inst.hyper.as_ref().expect("hyper model loads a hypergraph");
-        let hq = HyperQuality::measure(hg, &partition);
-        let rep = hq.check(&constraints);
-        let edge_cut = PartitionQuality::measure(g, &partition).total_cut;
-        println!(
-            "nodes={} nets={} k={k} conn_cost={} cut_nets={} edge_cut_model={} max_resource={} max_local_bandwidth={} => {}",
-            hg.num_nodes(),
-            hg.num_nets(),
-            hq.connectivity_cost,
-            hq.cut_nets,
-            edge_cut,
-            hq.max_resource,
-            hq.max_local_bandwidth,
-            rep.summary()
-        );
-    } else {
-        let q = PartitionQuality::measure(g, &partition);
-        let rep = constraints.check_quality(&q);
-        println!(
-            "nodes={} edges={} k={k} cut={} max_resource={} max_local_bandwidth={} => {}",
-            g.num_nodes(),
-            g.num_edges(),
-            q.total_cut,
-            q.max_resource,
-            q.max_local_bandwidth,
-            rep.summary()
-        );
     }
 
     if let Some(path) = arg_value(args, "--dot") {
         let dot = to_dot(
             g,
             &DotOptions {
-                partition: Some(partition.clone()),
+                partition: Some(outcome.partition.clone()),
                 ..DotOptions::default()
             },
         );
@@ -176,17 +199,24 @@ fn cmd_partition(args: &[String]) -> ExitCode {
         println!("wrote {path}");
     }
     if let Some(path) = arg_value(args, "--out") {
-        if let Err(e) = std::fs::write(&path, json::partition_to_json(&partition)) {
+        if let Err(e) = std::fs::write(&path, json::partition_to_json(&outcome.partition)) {
             eprintln!("error writing {path}: {e}");
             return ExitCode::FAILURE;
         }
         println!("wrote {path}");
     }
-    if feasible {
+    if outcome.feasible {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+fn cmd_backends() -> ExitCode {
+    for b in backends() {
+        println!("{:<6} [{}] {}", b.name(), b.cost_model(), b.description());
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_demo(args: &[String]) -> ExitCode {
@@ -206,44 +236,18 @@ fn cmd_demo(args: &[String]) -> ExitCode {
         e.constraints.rmax,
         e.constraints.bmax
     );
-    for baseline in [true, false] {
-        let name = if baseline { "baseline" } else { "gp" };
-        let partition = if baseline {
-            metis_lite::kway_partition(&e.graph, e.k, &MetisOptions::default()).partition
-        } else {
-            match GpPartitioner::default().partition(&e.graph, e.k, &e.constraints) {
-                Ok(r) => r.partition,
-                Err(b) => b.best.partition.clone(),
-            }
-        };
-        let q = PartitionQuality::measure(&e.graph, &partition);
-        let rep = e.constraints.check_quality(&q);
+    let inst = PartitionInstance::from_graph(&e.name, e.graph.clone(), e.k, e.constraints);
+    for b in backends() {
+        let out = b.run(&inst, 0xCA77A);
         println!(
-            "  {name:<8} cut={:<4} max_res={:<4} max_bw={:<3} {}",
-            q.total_cut,
-            q.max_resource,
-            q.max_local_bandwidth,
-            rep.summary()
+            "  {:<6} cut={:<4} max_res={:<4} max_bw={:<3} {}",
+            b.name(),
+            out.cost.objective,
+            out.cost.max_resource,
+            out.cost.max_local_bandwidth,
+            out.report.summary()
         );
     }
-    // the connectivity-metric engine on the same instance (2-pin nets:
-    // both objectives coincide, so this doubles as a live equivalence
-    // check of the hypergraph subsystem)
-    let hg = Hypergraph::from_graph(&e.graph);
-    let partition = match hyper_partition(&hg, e.k, &e.constraints, &HyperParams::default()) {
-        Ok(r) => r.partition,
-        Err(b) => b.best.partition.clone(),
-    };
-    let hq = HyperQuality::measure(&hg, &partition);
-    let rep = hq.check(&e.constraints);
-    println!(
-        "  {:<8} cut={:<4} max_res={:<4} max_bw={:<3} {}",
-        "hyper",
-        hq.connectivity_cost,
-        hq.max_resource,
-        hq.max_local_bandwidth,
-        rep.summary()
-    );
     ExitCode::SUCCESS
 }
 
@@ -294,6 +298,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("partition") => cmd_partition(&args[1..]),
+        Some("backends") => cmd_backends(),
         Some("demo") => cmd_demo(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         _ => usage(),

@@ -107,14 +107,120 @@ fn baseline_flag_runs_metis_lite() {
 }
 
 #[test]
-fn demo_subcommand_prints_all_partitioners() {
+fn demo_subcommand_prints_every_backend() {
     let run = gp().args(["demo", "1"]).output().unwrap();
     assert!(run.status.success());
     let stdout = String::from_utf8_lossy(&run.stdout);
     assert!(stdout.contains("experiment 1"), "got: {stdout}");
-    assert!(stdout.contains("baseline"), "got: {stdout}");
-    assert!(stdout.contains("gp"), "got: {stdout}");
-    assert!(stdout.contains("hyper"), "got: {stdout}");
+    for backend in ["gp", "rb", "kway", "metis", "hyper"] {
+        assert!(
+            stdout.contains(&format!("  {backend}")),
+            "missing {backend} row: {stdout}"
+        );
+    }
+    // the paper's qualitative outcome across the registry: the
+    // unconstrained baseline violates, the constrained engines don't
+    assert!(stdout.contains("INFEASIBLE"), "got: {stdout}");
+    assert!(stdout.contains("feasible"), "got: {stdout}");
+}
+
+#[test]
+fn backends_subcommand_lists_the_registry() {
+    let run = gp().args(["backends"]).output().unwrap();
+    assert!(run.status.success());
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    for backend in ["gp", "rb", "kway", "metis", "hyper"] {
+        assert!(stdout.contains(backend), "missing {backend}: {stdout}");
+    }
+    assert!(stdout.contains("edge-cut"));
+    assert!(stdout.contains("connectivity"));
+}
+
+#[test]
+fn explicit_backend_flag_selects_the_engine() {
+    let dir = temp_dir("backend-flag");
+    let graph_path = dir.join("graph.metis");
+    let gen = gp()
+        .args(["gen", "--nodes", "16", "--edges", "36", "--seed", "8"])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    std::fs::write(&graph_path, &gen.stdout).unwrap();
+    for backend in ["gp", "rb", "kway", "metis", "hyper"] {
+        let run = gp()
+            .args([
+                "partition",
+                "--backend",
+                backend,
+                "--input",
+                graph_path.to_str().unwrap(),
+                "--k",
+                "4",
+                "--rmax",
+                "100000",
+                "--bmax",
+                "100000",
+            ])
+            .output()
+            .unwrap();
+        let stdout = String::from_utf8_lossy(&run.stdout);
+        assert!(
+            run.status.success(),
+            "{backend} failed: {}",
+            String::from_utf8_lossy(&run.stderr)
+        );
+        assert!(
+            stdout.contains(&format!("backend={backend}")),
+            "{backend}: {stdout}"
+        );
+    }
+    // unknown backend exits with usage
+    let run = gp()
+        .args([
+            "partition",
+            "--backend",
+            "nope",
+            "--input",
+            graph_path.to_str().unwrap(),
+            "--k",
+            "2",
+            "--rmax",
+            "1",
+            "--bmax",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(!run.status.success());
+    // an explicit model that contradicts the backend's cost model is an
+    // error, not a silent fallback to the wrong numbers
+    for mismatch in [
+        ["--model", "hyper", "--baseline"],
+        ["--model", "edge", "--backend"],
+    ] {
+        let mut args = vec![
+            "partition",
+            "--input",
+            graph_path.to_str().unwrap(),
+            "--k",
+            "2",
+            "--rmax",
+            "100000",
+            "--bmax",
+            "100000",
+        ];
+        args.extend(mismatch);
+        if mismatch[2] == "--backend" {
+            args.push("hyper");
+        }
+        let run = gp().args(&args).output().unwrap();
+        assert!(!run.status.success(), "{mismatch:?} must be rejected");
+        assert!(
+            String::from_utf8_lossy(&run.stderr).contains("backend"),
+            "{mismatch:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

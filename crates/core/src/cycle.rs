@@ -16,10 +16,11 @@ use crate::coarsen::{gp_coarsen, GpHierarchy};
 use crate::initial::{greedy_initial_partition, InitialOptions};
 use crate::params::GpParams;
 use crate::refine::{constrained_refine, RefineOptions};
-use crate::report::{CycleTrace, GpInfeasible, GpResult};
+use crate::report::{CycleTrace, GpInfeasible, GpResult, PhaseSeconds};
 use ppn_graph::metrics::PartitionQuality;
 use ppn_graph::prng::derive_seed;
 use ppn_graph::{Constraints, Partition, WeightedGraph};
+use std::time::Instant;
 
 /// Refine `p` upward through `hier.levels[from..to]` (indices into the
 /// finest-first level list, iterated coarse→fine). On entry `p` lives on
@@ -64,6 +65,7 @@ pub fn gp_partition(
     let mut best: Option<((u64, u64, u64), Partition)> = None;
     let mut trace: Vec<CycleTrace> = Vec::new();
     let mut cycles_used = 0;
+    let mut phases = PhaseSeconds::default();
     let matchings = params.effective_matchings();
 
     'cycles: for cycle in 0..params.max_cycles.max(1) {
@@ -72,7 +74,9 @@ pub fn gp_partition(
 
         // hierarchy for this cycle ("go back to coarsening phase …
         // randomly, cyclically")
+        let t0 = Instant::now();
         let hier = gp_coarsen(g, &matchings, params.coarsen_to, cycle_seed);
+        phases.coarsen_s += t0.elapsed().as_secs_f64();
         let levels = hier.levels.len();
         let mid = levels / 2;
         let sizes = hier.size_trace();
@@ -83,6 +87,7 @@ pub fn gp_partition(
         let mut candidates: Vec<((u64, u64, u64), Partition)> = Vec::with_capacity(attempts);
         for attempt in 0..attempts {
             let attempt_seed = derive_seed(cycle_seed, attempt as u64);
+            let t0 = Instant::now();
             let p0 = greedy_initial_partition(
                 hier.coarsest(),
                 k,
@@ -94,8 +99,11 @@ pub fn gp_partition(
                     parallel: params.parallel,
                 },
             );
+            phases.initial_s += t0.elapsed().as_secs_f64();
             // refine from the coarsest up to the intermediate level
+            let t0 = Instant::now();
             let p_mid = refine_up(&hier, mid..levels, p0, c, params, attempt_seed);
+            phases.refine_s += t0.elapsed().as_secs_f64();
             let mid_graph = if mid < levels {
                 &hier.levels[mid].fine
             } else {
@@ -127,6 +135,7 @@ pub fn gp_partition(
         let (_, p_mid) = candidates.swap_remove(winner_idx);
 
         // continue the winner to the top
+        let t0 = Instant::now();
         let p_top = refine_up(
             &hier,
             0..mid,
@@ -135,6 +144,7 @@ pub fn gp_partition(
             params,
             derive_seed(cycle_seed, 0x70),
         );
+        phases.refine_s += t0.elapsed().as_secs_f64();
         let quality = PartitionQuality::measure(g, &p_top);
         let goodness = quality.goodness_key(c.rmax, c.bmax);
 
@@ -162,6 +172,7 @@ pub fn gp_partition(
         feasible,
         cycles_used,
         trace,
+        phases,
     };
     if feasible {
         Ok(result)
@@ -247,6 +258,16 @@ mod tests {
         let a = gp_partition(&g, 4, &c, &GpParams::default()).unwrap();
         let b = gp_partition(&g, 4, &c, &GpParams::default()).unwrap();
         assert_eq!(a.partition, b.partition);
+    }
+
+    #[test]
+    fn phase_timings_are_recorded() {
+        let g = four_triads();
+        let c = Constraints::new(150, 20);
+        let r = gp_partition(&g, 4, &c, &GpParams::default()).unwrap();
+        // every run coarsens, partitions and refines at least once
+        assert!(r.phases.initial_s > 0.0, "{:?}", r.phases);
+        assert!(r.phases.total_s() >= r.phases.initial_s);
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub use kmeans::kmeans_matching;
 pub use params::{GpParams, MatchingKind};
 pub use refine::{constrained_refine, ConstrainedState, MoveDelta, RefineOptions};
 pub use refine_reference::constrained_refine_reference;
-pub use report::{CycleTrace, GpInfeasible, GpResult};
+pub use report::{CycleTrace, GpInfeasible, GpResult, PhaseSeconds};
 
 use ppn_graph::{Constraints, WeightedGraph};
 

@@ -9,6 +9,8 @@
 //! * [`multicast`] — fan-out-heavy star/broadcast networks whose
 //!   multicast streams the edge-cut model mis-costs (the hypergraph
 //!   subsystem's scenario family);
+//! * [`pathological`] — chains and cliques, the adversarial extremes of
+//!   the cross-backend conformance matrix;
 //! * [`paper`] — the three 12-node experiment instances of the paper's
 //!   evaluation (§V), reconstructed from the published node/edge counts,
 //!   weight scales and constraints — the exact adjacency was never
@@ -18,9 +20,22 @@
 pub mod community;
 pub mod multicast;
 pub mod paper;
+pub mod pathological;
 pub mod random;
+
+/// Uniform draw from an inclusive range, clamped to at least 1 —
+/// every generator weight is positive.
+pub(crate) fn draw_weight(rng: &mut ppn_graph::prng::XorShift128Plus, (lo, hi): (u64, u64)) -> u64 {
+    let w = if hi <= lo {
+        lo
+    } else {
+        lo + rng.next_u64() % (hi - lo + 1)
+    };
+    w.max(1)
+}
 
 pub use community::{community_graph, dense_community_graph};
 pub use multicast::{multicast_network, MulticastSpec};
 pub use paper::{all_experiments, experiment1, experiment2, experiment3, Experiment, PaperRow};
+pub use pathological::{chain_graph, clique_graph};
 pub use random::{random_graph, random_layered_ppn, RandomGraphSpec};

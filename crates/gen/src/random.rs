@@ -39,16 +39,10 @@ pub fn random_graph(spec: &RandomGraphSpec) -> WeightedGraph {
     let n = spec.nodes;
     let mut rng = XorShift128Plus::new(spec.seed);
     let mut g = WeightedGraph::new();
-    let draw = |rng: &mut XorShift128Plus, (lo, hi): (u64, u64)| {
-        if hi <= lo {
-            lo
-        } else {
-            lo + rng.next_u64() % (hi - lo + 1)
-        }
-    };
+    let draw = crate::draw_weight;
     for _ in 0..n {
         let w = draw(&mut rng, spec.node_weight);
-        g.add_node(w.max(1));
+        g.add_node(w);
     }
     if n <= 1 {
         return g;
@@ -61,7 +55,7 @@ pub fn random_graph(spec: &RandomGraphSpec) -> WeightedGraph {
     rng.shuffle(&mut order);
     for i in 1..n {
         let parent = order[rng.next_below(i)];
-        let w = draw(&mut rng, spec.edge_weight).max(1);
+        let w = draw(&mut rng, spec.edge_weight);
         g.add_edge(NodeId::from_index(order[i]), NodeId::from_index(parent), w)
             .expect("tree edges are fresh");
     }
@@ -79,7 +73,7 @@ pub fn random_graph(spec: &RandomGraphSpec) -> WeightedGraph {
         if g.find_edge(u, v).is_some() {
             continue;
         }
-        let w = draw(&mut rng, spec.edge_weight).max(1);
+        let w = draw(&mut rng, spec.edge_weight);
         g.add_edge(u, v, w).expect("checked fresh");
         added += 1;
     }

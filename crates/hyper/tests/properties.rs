@@ -155,6 +155,58 @@ proptest! {
     }
 
     #[test]
+    fn tracker_stays_exact_on_multicast_hypergraphs_under_long_sequences(
+        n in 4usize..24,
+        hseed in any::<u64>(),
+        k in 2usize..6,
+        mseed in any::<u64>(),
+    ) {
+        // true multicast nets (fanout > 1), not the 2-pin embedding:
+        // λ, the per-net pin counts, the BandwidthMatrix and the
+        // tracked excess must all match a from-scratch recomputation
+        // at every step of a long random move sequence
+        let hg = random_hypergraph(n, hseed);
+        let mut p = random_partition(n, k, mseed);
+        let mut s = NetConnectivity::new(&hg, &p);
+        let bmax = 1 + (hseed % 13);
+        s.track_bmax(bmax);
+        let mut rng = XorShift128Plus::new(mseed ^ 0x10C0_5EED);
+        for step in 0..120 {
+            let v = NodeId::from_index(rng.next_below(n));
+            let to = rng.next_below(k) as u32;
+            let from = p.part_of(v);
+            s.apply_move(&hg, v, from, to);
+            p.assign(v, to);
+
+            let fresh = NetConnectivity::new(&hg, &p);
+            prop_assert_eq!(s.connectivity_cost(), fresh.connectivity_cost(), "step {}", step);
+            prop_assert_eq!(s.cut_nets(), fresh.cut_nets(), "step {}", step);
+            prop_assert_eq!(s.traffic(), fresh.traffic(), "step {}", step);
+            prop_assert_eq!(
+                s.tracked_excess(),
+                fresh.traffic().violation_magnitude(bmax),
+                "step {}",
+                step
+            );
+            // deep per-net state every few steps (λ and pin counts)
+            if step % 10 == 9 {
+                for e in hg.net_ids() {
+                    prop_assert_eq!(s.lambda(e), fresh.lambda(e), "net {:?}", e);
+                    for q in 0..k {
+                        prop_assert_eq!(
+                            s.pin_count(e, q),
+                            fresh.pin_count(e, q),
+                            "net {:?} part {}",
+                            e,
+                            q
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn fingerprint_net_merge_equals_hashmap_reference(
         n in 3usize..28,
         hseed in any::<u64>(),

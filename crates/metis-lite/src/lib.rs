@@ -20,9 +20,16 @@
 //! (the `ufactor`); bandwidth between part pairs and absolute per-part
 //! resource caps are *not* modelled — which is the behaviour gap the
 //! paper's GP algorithm fills (see `gp-core`).
+//!
+//! The [`rb`] module is the crate's second, *constrained* engine: a
+//! multilevel recursive-bisection route to k parts that splits the
+//! `Rmax` budget across subproblems and finishes with gp-core's
+//! `Bmax`-aware k-way repair — the Schlag-style alternative to GP's
+//! direct k-way cycle, exposed as the `rb` backend of `ppn-backend`.
 
 pub mod coarsen;
 pub mod options;
+pub mod rb;
 
 use gp_classic::bisect::recursive_bisection;
 use gp_classic::kway::{kway_refine, KwayOptions};
@@ -32,6 +39,7 @@ use ppn_graph::{Partition, WeightedGraph};
 
 pub use coarsen::{coarsen_hierarchy, Hierarchy, Level};
 pub use options::MetisOptions;
+pub use rb::{rb_partition, RbInfeasible, RbParams, RbResult};
 
 /// Result of a `metis-lite` run.
 #[derive(Clone, Debug)]

@@ -41,6 +41,15 @@ impl Constraints {
         g.max_node_weight() <= self.rmax && g.total_node_weight() <= self.rmax * k as u64
     }
 
+    /// Resource budget of a subproblem that will eventually hold
+    /// `parts` final parts: `parts × Rmax`, saturating. Recursive
+    /// bisection splits its `Rmax` budget with this — a side destined to
+    /// become `parts` FPGAs may weigh at most this much and still admit
+    /// a feasible completion.
+    pub fn resource_budget(&self, parts: usize) -> u64 {
+        self.rmax.saturating_mul(parts as u64)
+    }
+
     /// Evaluate a partition, producing a full report.
     pub fn check(&self, g: &WeightedGraph, p: &Partition) -> ConstraintReport {
         let quality = PartitionQuality::measure(g, p);
@@ -195,6 +204,14 @@ mod tests {
         assert!(!Constraints::new(40, 10).admits(&g, 4)); // hub is 50
         assert!(Constraints::new(50, 10).admits(&g, 2)); // 90 total <= 100
         assert!(!Constraints::new(50, 10).admits(&g, 1)); // 90 > 50
+    }
+
+    #[test]
+    fn resource_budget_scales_and_saturates() {
+        let c = Constraints::new(40, 10);
+        assert_eq!(c.resource_budget(1), 40);
+        assert_eq!(c.resource_budget(3), 120);
+        assert_eq!(Constraints::unconstrained().resource_budget(2), u64::MAX);
     }
 
     #[test]

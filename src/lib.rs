@@ -11,7 +11,12 @@
 //!   under simultaneous per-FPGA resource (`Rmax`) and per-link
 //!   bandwidth (`Bmax`) constraints;
 //! * [`metis_lite`] — the unconstrained METIS-style baseline it is
-//!   evaluated against;
+//!   evaluated against, plus the constrained multilevel
+//!   recursive-bisection engine (`metis_lite::rb`);
+//! * [`ppn_backend`] — the unified [`Partitioner`] trait every engine
+//!   implements, the named backend registry (`gp`, `rb`, `kway`,
+//!   `metis`, `hyper`), and the conformance instance families the
+//!   cross-backend differential suite runs on;
 //! * [`gp_classic`] — the classical heuristics both are built from
 //!   (KL, FM, spectral bisection, greedy growing, recursive bisection);
 //! * [`ppn_graph`] — the weighted-graph substrate with partition
@@ -36,6 +41,7 @@ pub use gp_classic;
 pub use gp_core;
 pub use metis_lite;
 pub use multi_fpga;
+pub use ppn_backend;
 pub use ppn_gen;
 pub use ppn_graph;
 pub use ppn_hyper;
@@ -43,5 +49,9 @@ pub use ppn_model;
 pub use ppn_poly;
 
 pub use gp_core::{GpParams, GpPartitioner, GpResult};
+pub use ppn_backend::{
+    backend_by_name, backend_names, backends, CostModel, PartitionInstance, PartitionOutcome,
+    Partitioner,
+};
 pub use ppn_graph::{Constraints, Partition, WeightedGraph};
 pub use ppn_hyper::{hyper_partition, HyperParams, HyperResult, Hypergraph};
