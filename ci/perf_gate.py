@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_gp.json documents (schema 4).
+
+Usage: perf_gate.py BASELINE FRESH [--max-slowdown 1.4] [--min-time 0.02]
+
+Compares a freshly measured perf document against the committed
+baseline and fails (exit 1) when any GP phase of any workload present
+in both documents got more than ``--max-slowdown`` times slower, when
+end-to-end throughput (edges/sec) dropped by the same factor, or when
+peak RSS more than doubled (with an absolute slack for allocator
+noise). Phases where both runs are faster than ``--min-time`` seconds
+are skipped — microsecond rows measure scheduler noise, not code.
+
+Runner-speed differences are normalised away with the documents'
+``calibration_s`` field (a fixed deterministic spin loop timed by the
+harness): fresh times are divided by the ratio of the two calibrations
+before comparison, clamped to [0.2, 5] so a broken calibration cannot
+mask a real regression.
+
+The gate also asserts the schema-4 shape of the fresh document (phase
+map, throughput, peak RSS, per-heuristic tournament timings, the
+identical-hierarchy assertion of the coarsening comparison) — and it
+refuses a baseline produced under ``PERF_INJECT_SLOWDOWN``, so the
+negative-test artifact can never be committed as the new reference.
+"""
+
+import argparse
+import json
+import sys
+
+RSS_FACTOR = 2.0
+RSS_SLACK_BYTES = 32 * 1024 * 1024
+CALIBRATION_CLAMP = (0.2, 5.0)
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def assert_schema(doc, path):
+    """Schema-4 shape assertions (replaces the old schema-3 CI check)."""
+    assert doc.get("schema") == 4, f"{path}: schema {doc.get('schema')} != 4"
+    assert doc.get("workloads"), f"{path}: no scaling workloads"
+    assert doc.get("hyper_workloads"), f"{path}: no hypergraph workloads"
+    assert doc.get("calibration_s", 0) > 0, f"{path}: missing calibration_s"
+    for w in doc["workloads"]:
+        name = w.get("name", "?")
+        phases = w.get("phases_s")
+        assert phases, f"{path}: {name}: no phases_s"
+        missing = {"coarsen", "initial", "refine_up", "end_to_end"} - phases.keys()
+        assert not missing, f"{path}: {name}: phases missing {missing}"
+        assert w.get("edges_per_sec", 0) > 0, f"{path}: {name}: no edges_per_sec"
+        assert "peak_rss_bytes" in w, f"{path}: {name}: no peak_rss_bytes"
+        for lvl in w.get("coarsen_levels", []):
+            assert lvl.get("heuristics"), (
+                f"{path}: {name} level {lvl.get('level')}: no per-heuristic timings"
+            )
+        cc = w.get("coarsen_compare")
+        if cc is not None:  # reference comparisons are size-gated
+            assert cc.get("identical_hierarchy") is True, f"{path}: {name}"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--max-slowdown", type=float, default=1.4)
+    ap.add_argument("--min-time", type=float, default=0.02)
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    assert_schema(fresh, args.fresh)
+
+    if base.get("injected_slowdown"):
+        print(f"FAIL: baseline {args.baseline} was produced under "
+              f"PERF_INJECT_SLOWDOWN {base['injected_slowdown']} — refusing "
+              "an injected document as the reference")
+        return 1
+    if base.get("schema") != 4:
+        # bootstrap path: the first schema-4 document has no comparable
+        # baseline; shape assertions above are the whole gate
+        print(f"note: baseline schema {base.get('schema')} != 4 — "
+              "shape-checked fresh document only, no timing comparison")
+        return 0
+
+    scale = fresh["calibration_s"] / base["calibration_s"]
+    scale = max(CALIBRATION_CLAMP[0], min(CALIBRATION_CLAMP[1], scale))
+    print(f"calibration: baseline {base['calibration_s']:.4f}s, "
+          f"fresh {fresh['calibration_s']:.4f}s -> scale {scale:.3f}")
+
+    base_by_name = {w["name"]: w for w in base["workloads"]}
+    failures = []
+    compared = 0
+    for fw in fresh["workloads"]:
+        bw = base_by_name.get(fw["name"])
+        if bw is None:
+            print(f"  {fw['name']}: not in baseline, skipped")
+            continue
+        for phase, bt in bw["phases_s"].items():
+            ft = fw["phases_s"].get(phase)
+            if ft is None:
+                failures.append(f"{fw['name']}: phase {phase} vanished")
+                continue
+            ftn = ft / scale
+            if max(bt, ftn) < args.min_time:
+                continue  # noise floor
+            compared += 1
+            ratio = ftn / max(bt, 1e-12)
+            verdict = "FAIL" if ratio > args.max_slowdown else "ok"
+            print(f"  {fw['name']:<20} {phase:<12} baseline {bt:9.4f}s  "
+                  f"fresh {ftn:9.4f}s  ratio {ratio:5.2f}x  {verdict}")
+            if ratio > args.max_slowdown:
+                failures.append(
+                    f"{fw['name']}: {phase} {ratio:.2f}x slower "
+                    f"(limit {args.max_slowdown}x)")
+
+        # throughput, normalised the opposite way (slower runner -> lower
+        # edges/sec), only where end-to-end time is above the noise floor
+        bt = bw["phases_s"]["end_to_end"]
+        ftn = fw["phases_s"]["end_to_end"] / scale
+        if max(bt, ftn) >= args.min_time:
+            beps, feps = bw["edges_per_sec"], fw["edges_per_sec"] * scale
+            if feps < beps / args.max_slowdown:
+                failures.append(
+                    f"{fw['name']}: throughput {beps:.0f} -> {feps:.0f} "
+                    f"edges/sec (>{args.max_slowdown}x drop)")
+
+        brss, frss = bw["peak_rss_bytes"], fw["peak_rss_bytes"]
+        if brss and frss > brss * RSS_FACTOR + RSS_SLACK_BYTES:
+            failures.append(
+                f"{fw['name']}: peak RSS {brss} -> {frss} bytes "
+                f"(>{RSS_FACTOR}x + slack)")
+
+    print(f"compared {compared} phase timings above the "
+          f"{args.min_time}s noise floor")
+    if failures:
+        print("\nperf regression gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("perf regression gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

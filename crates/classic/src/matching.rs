@@ -9,7 +9,7 @@
 
 use ppn_graph::matching::Matching;
 use ppn_graph::prng::XorShift128Plus;
-use ppn_graph::WeightedGraph;
+use ppn_graph::{EdgeId, GraphView, NodeId};
 
 /// Build the shuffled-then-sorted `(weight, edge id)` order the
 /// edge-scan heuristics consume, into `buf` (cleared first, capacity
@@ -18,9 +18,13 @@ use ppn_graph::WeightedGraph;
 /// level can build this order once and share it between heavy-edge and
 /// k-means matching instead of each heuristic allocating and re-sorting
 /// its own copy.
-pub fn shuffled_sorted_edges(g: &WeightedGraph, seed: u64, buf: &mut Vec<(u64, u32)>) {
+///
+/// Generic over [`GraphView`]: any view exposing the same edge-id order
+/// yields the bit-identical order per seed, so the flat level arena and
+/// the Cow hierarchy feed the heuristics the same stream.
+pub fn shuffled_sorted_edges<G: GraphView>(g: &G, seed: u64, buf: &mut Vec<(u64, u32)>) {
     buf.clear();
-    buf.extend(g.edge_ids().map(|e| (g.edge_weight(e), e.0)));
+    buf.extend((0..g.num_edges() as u32).map(|e| (g.edge_weight(EdgeId(e)), e)));
     let mut rng = XorShift128Plus::new(seed);
     rng.shuffle(buf);
     buf.sort_by_key(|e| std::cmp::Reverse(e.0));
@@ -29,7 +33,7 @@ pub fn shuffled_sorted_edges(g: &WeightedGraph, seed: u64, buf: &mut Vec<(u64, u
 /// Heavy-edge matching: visit edges in descending weight order, matching
 /// endpoints that are both free. Ties are broken by a seeded shuffle so
 /// that repeated coarsening attempts explore different contractions.
-pub fn heavy_edge_matching(g: &WeightedGraph, seed: u64) -> Matching {
+pub fn heavy_edge_matching<G: GraphView>(g: &G, seed: u64) -> Matching {
     let mut edges = Vec::new();
     shuffled_sorted_edges(g, seed, &mut edges);
     heavy_edge_matching_prepared(g, &edges)
@@ -38,10 +42,10 @@ pub fn heavy_edge_matching(g: &WeightedGraph, seed: u64) -> Matching {
 /// Heavy-edge matching over a prepared [`shuffled_sorted_edges`] order.
 /// Deterministic given the order; the per-level tournament shares one
 /// prepared order between this and k-means matching.
-pub fn heavy_edge_matching_prepared(g: &WeightedGraph, edges: &[(u64, u32)]) -> Matching {
+pub fn heavy_edge_matching_prepared<G: GraphView>(g: &G, edges: &[(u64, u32)]) -> Matching {
     let mut m = Matching::empty(g.num_nodes());
     for &(w, eid) in edges {
-        let (u, v, _) = g.edge(ppn_graph::EdgeId(eid));
+        let (u, v, _) = g.edge(EdgeId(eid));
         if !m.is_matched(u) && !m.is_matched(v) {
             m.add_pair_absorbing(u, v, w);
         }
@@ -53,17 +57,18 @@ pub fn heavy_edge_matching_prepared(g: &WeightedGraph, edges: &[(u64, u32)]) -> 
 /// nodes in random order; an unmatched node matches its heaviest
 /// unmatched neighbour. Cheaper than the sort for large graphs and the
 /// variant `metis-lite` uses.
-pub fn heavy_edge_matching_node_scan(g: &WeightedGraph, seed: u64) -> Matching {
+pub fn heavy_edge_matching_node_scan<G: GraphView>(g: &G, seed: u64) -> Matching {
     let mut rng = XorShift128Plus::new(seed);
-    let mut order: Vec<_> = g.node_ids().collect();
+    let mut order: Vec<NodeId> = (0..g.num_nodes()).map(NodeId::from_index).collect();
     rng.shuffle(&mut order);
     let mut m = Matching::empty(g.num_nodes());
     for v in order {
         if m.is_matched(v) {
             continue;
         }
-        let mut best: Option<(u64, ppn_graph::NodeId)> = None;
-        for &(u, e) in g.neighbors(v) {
+        let mut best: Option<(u64, NodeId)> = None;
+        for i in 0..g.degree(v) {
+            let (u, e) = g.neighbor(v, i);
             if m.is_matched(u) {
                 continue;
             }
@@ -83,7 +88,7 @@ pub fn heavy_edge_matching_node_scan(g: &WeightedGraph, seed: u64) -> Matching {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppn_graph::NodeId;
+    use ppn_graph::WeightedGraph;
 
     /// path with a distinguishing heavy middle edge: 0 -1- 1 -100- 2 -1- 3
     fn heavy_middle() -> WeightedGraph {

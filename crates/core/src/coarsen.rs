@@ -42,10 +42,11 @@ use gp_classic::matching::{
     heavy_edge_matching, heavy_edge_matching_node_scan, heavy_edge_matching_prepared,
     shuffled_sorted_edges,
 };
+use ppn_graph::arena::{LevelArena, LevelView};
 use ppn_graph::contract::{contract_reference, contract_with, CoarseMap, ContractScratch};
 use ppn_graph::matching::{random_maximal_matching, Matching};
 use ppn_graph::prng::derive_seed;
-use ppn_graph::WeightedGraph;
+use ppn_graph::{GraphView, WeightedGraph};
 use std::borrow::Cow;
 
 #[cfg(feature = "parallel")]
@@ -85,7 +86,7 @@ impl MatchScratch {
     }
 
     /// Build the shared edge order for one level.
-    pub fn prepare(&mut self, g: &WeightedGraph, seed: u64) {
+    pub fn prepare<G: GraphView>(&mut self, g: &G, seed: u64) {
         shuffled_sorted_edges(g, seed, &mut self.edges);
     }
 
@@ -98,7 +99,7 @@ impl MatchScratch {
 /// Run one matching heuristic standalone (the heuristic builds any edge
 /// order it needs itself). The tournament goes through
 /// [`best_matching_in`] instead, which shares one prepared order.
-pub fn run_matching(kind: MatchingKind, g: &WeightedGraph, seed: u64) -> Matching {
+pub fn run_matching<G: GraphView>(kind: MatchingKind, g: &G, seed: u64) -> Matching {
     match kind {
         MatchingKind::Random => random_maximal_matching(g, seed),
         MatchingKind::HeavyEdge => heavy_edge_matching(g, seed),
@@ -108,9 +109,9 @@ pub fn run_matching(kind: MatchingKind, g: &WeightedGraph, seed: u64) -> Matchin
 }
 
 /// Run one heuristic over the level's shared edge order.
-fn run_matching_prepared(
+fn run_matching_prepared<G: GraphView>(
     kind: MatchingKind,
-    g: &WeightedGraph,
+    g: &G,
     seed: u64,
     edges: &[(u64, u32)],
     backend: CoarsenBackend,
@@ -145,9 +146,9 @@ pub struct HeuristicTiming {
 /// concurrently; the winner is selected with a total order (absorbed
 /// weight, pair count, earliest heuristic), so the result is identical
 /// sequentially or in parallel.
-pub fn best_matching(
+pub fn best_matching<G: GraphView>(
     kinds: &[MatchingKind],
-    g: &WeightedGraph,
+    g: &G,
     seed: u64,
 ) -> (MatchingKind, Matching) {
     let (kind, m, _) = best_matching_in(
@@ -164,9 +165,9 @@ pub fn best_matching(
 /// backend; also returns the per-heuristic timings. The scratch's edge
 /// order is (re)built here from the level seed and shared by every
 /// entrant, so a level sorts the edge list exactly once.
-pub fn best_matching_in(
+pub fn best_matching_in<G: GraphView>(
     kinds: &[MatchingKind],
-    g: &WeightedGraph,
+    g: &G,
     seed: u64,
     scratch: &mut MatchScratch,
     backend: CoarsenBackend,
@@ -384,7 +385,7 @@ fn gp_coarsen_impl<'a>(
         let t0 = std::time::Instant::now();
         let (kind, m, heuristics) = best_matching_in(
             kinds,
-            &current,
+            current.as_ref(),
             derive_seed(seed, 0x6C + round),
             &mut match_scratch,
             backend,
@@ -421,6 +422,117 @@ fn gp_coarsen_impl<'a>(
         levels,
         coarsest: current,
     }
+}
+
+/// GP hierarchy over the flat CSR level arena — the scaling twin of
+/// [`GpHierarchy`]. Where the Cow hierarchy rebuilds a [`WeightedGraph`]
+/// per level (per-node adjacency `Vec`s, label options), the arena
+/// appends compact u32/u64 arrays into shared allocations; levels hand
+/// out zero-copy [`LevelView`]s / CSR views for matching and refinement.
+///
+/// Bit-identical to the Cow hierarchy by construction — every seeded
+/// heuristic consumes the identical edge and adjacency order through
+/// [`GraphView`] — and property-tested so (size trace, maps, winners,
+/// coarse adjacency all equal; see `tests/flat_hierarchy.rs`).
+#[derive(Clone, Debug)]
+pub struct FlatHierarchy {
+    /// The levels' storage.
+    pub arena: LevelArena,
+    /// Which heuristic won at each contracted level (finest first); one
+    /// entry per contraction, i.e. `arena.num_levels() - 1`.
+    pub winners: Vec<MatchingKind>,
+}
+
+impl FlatHierarchy {
+    /// Number of graphs in the hierarchy (matches `GpHierarchy::depth`).
+    pub fn depth(&self) -> usize {
+        self.arena.num_levels()
+    }
+
+    /// Node counts per graph, finest first.
+    pub fn size_trace(&self) -> Vec<usize> {
+        self.arena.size_trace()
+    }
+
+    /// Borrow level `i` (0 = finest).
+    pub fn level(&self, i: usize) -> LevelView<'_> {
+        self.arena.level(i)
+    }
+
+    /// Fine→coarse map from level `i` to level `i + 1`.
+    pub fn map(&self, i: usize) -> &[u32] {
+        self.arena.map_slice(i)
+    }
+
+    /// Materialise the coarsest level as an owned graph (unlabeled) for
+    /// the initial partitioner — at `coarsen_to` nodes this is tiny.
+    pub fn coarsest_graph(&self) -> WeightedGraph {
+        self.arena.top().to_graph()
+    }
+}
+
+/// [`gp_coarsen`] on the flat level arena: identical loop, seeds, stall
+/// rule and tournament as the Cow path (so identical matchings, maps and
+/// winners per seed), but each contraction appends to the arena instead
+/// of building a `WeightedGraph`. Optimized backend only — the Cow-based
+/// [`gp_coarsen_reference`] remains the oracle for both.
+pub fn gp_coarsen_flat(
+    g: &WeightedGraph,
+    kinds: &[MatchingKind],
+    coarsen_to: usize,
+    seed: u64,
+) -> FlatHierarchy {
+    gp_coarsen_flat_observed(g, kinds, coarsen_to, seed, &mut |_| {})
+}
+
+/// [`gp_coarsen_flat`] with the per-level observer of
+/// [`gp_coarsen_observed`].
+pub fn gp_coarsen_flat_observed(
+    g: &WeightedGraph,
+    kinds: &[MatchingKind],
+    coarsen_to: usize,
+    seed: u64,
+    observe: &mut dyn FnMut(&LevelTiming),
+) -> FlatHierarchy {
+    let mut arena = LevelArena::from_graph(g);
+    let mut winners = Vec::new();
+    let mut match_scratch = MatchScratch::new();
+    let mut round = 0u64;
+    while arena.top().num_nodes() > coarsen_to {
+        let top = arena.num_levels() - 1;
+        let (fine_nodes, fine_edges) = (arena.level_nodes(top), arena.level_edges(top));
+        let t0 = std::time::Instant::now();
+        let (kind, m, heuristics) = {
+            let view = arena.top();
+            best_matching_in(
+                kinds,
+                &view,
+                derive_seed(seed, 0x6C + round),
+                &mut match_scratch,
+                CoarsenBackend::Optimized,
+            )
+        };
+        let matching_s = t0.elapsed().as_secs_f64();
+        let coarse_nodes = m.coarse_node_count();
+        if coarse_nodes as f64 > fine_nodes as f64 * 0.95 {
+            break; // stalled (e.g. star graphs) — same rule as the Cow loop
+        }
+        let t1 = std::time::Instant::now();
+        let cn = arena.contract_top(&m);
+        observe(&LevelTiming {
+            level: round as usize,
+            fine_nodes,
+            fine_edges,
+            coarse_nodes: cn,
+            matching_kind: kind,
+            matching_s,
+            contract_s: t1.elapsed().as_secs_f64(),
+            heuristics,
+        });
+        winners.push(kind);
+        round += 1;
+    }
+    FlatHierarchy { arena, winners }
 }
 
 #[cfg(test)]
@@ -573,6 +685,55 @@ mod tests {
             assert_eq!(a.map, b.map);
             assert_eq!(a.matching_kind, b.matching_kind);
         }
+    }
+
+    /// Compare the flat-arena hierarchy against the Cow hierarchy level
+    /// by level: size trace, winners, maps, and full coarse structure.
+    fn assert_flat_matches_cow(g: &WeightedGraph, coarsen_to: usize, seed: u64) {
+        let cow = gp_coarsen(g, &MatchingKind::ALL, coarsen_to, seed);
+        let flat = gp_coarsen_flat(g, &MatchingKind::ALL, coarsen_to, seed);
+        assert_eq!(flat.size_trace(), cow.size_trace());
+        assert_eq!(flat.winners.len(), cow.levels.len());
+        for (i, l) in cow.levels.iter().enumerate() {
+            assert_eq!(flat.winners[i], l.matching_kind, "winner at level {i}");
+            assert_eq!(flat.map(i), &l.map.map[..], "map at level {i}");
+        }
+        // coarsest structure: same nodes, weights, edges, adjacency
+        let coarsest = flat.coarsest_graph();
+        let cow_coarsest = cow.coarsest();
+        assert_eq!(coarsest.num_nodes(), cow_coarsest.num_nodes());
+        assert_eq!(coarsest.node_weights(), cow_coarsest.node_weights());
+        for v in cow_coarsest.node_ids() {
+            assert_eq!(coarsest.neighbors(v), cow_coarsest.neighbors(v));
+        }
+        let ea: Vec<_> = coarsest.edges().collect();
+        let eb: Vec<_> = cow_coarsest.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn flat_hierarchy_is_bit_identical_to_cow() {
+        for seed in [5u64, 9, 21] {
+            assert_flat_matches_cow(&ring(256, 2), 32, seed);
+        }
+    }
+
+    #[test]
+    fn flat_hierarchy_handles_tiny_and_stalled_graphs() {
+        // already at target: no contraction
+        let g = ring(8, 1);
+        let flat = gp_coarsen_flat(&g, &MatchingKind::ALL, 16, 3);
+        assert_eq!(flat.depth(), 1);
+        assert!(flat.winners.is_empty());
+        assert_flat_matches_cow(&g, 16, 3);
+        // star graph stalls the matching quickly
+        let mut star = WeightedGraph::new();
+        let hub = star.add_node(1);
+        let spokes: Vec<_> = (0..24).map(|_| star.add_node(1)).collect();
+        for s in spokes {
+            star.add_edge(hub, s, 1).unwrap();
+        }
+        assert_flat_matches_cow(&star, 4, 7);
     }
 
     #[test]

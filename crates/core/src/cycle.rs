@@ -12,22 +12,26 @@
 //! to `max_cycles` times before reporting the paper's
 //! impossible-or-more-time message.
 
-use crate::coarsen::{gp_coarsen, GpHierarchy};
+use crate::coarsen::{gp_coarsen_flat, FlatHierarchy};
 use crate::initial::{greedy_initial_partition, InitialOptions};
 use crate::params::GpParams;
-use crate::refine::{constrained_refine, RefineOptions};
+use crate::refine::{constrained_refine_csr, constrained_refine_parallel_csr, RefineOptions};
 use crate::report::{CycleTrace, GpInfeasible, GpResult, PhaseSeconds};
 use ppn_graph::metrics::PartitionQuality;
 use ppn_graph::prng::derive_seed;
 use ppn_graph::{Constraints, Partition, WeightedGraph};
 use std::time::Instant;
 
-/// Refine `p` upward through `hier.levels[from..to]` (indices into the
-/// finest-first level list, iterated coarse→fine). On entry `p` lives on
-/// the graph *coarser* than `levels[to-1]`… i.e. projecting through
-/// `levels[i].map` lands on `levels[i].fine`.
+/// Refine `p` upward through arena levels `from..to` (finest-first
+/// indexing, iterated coarse→fine). On entry `p` lives on the graph
+/// *coarser* than level `to-1` — projecting through `hier.map(i)` lands
+/// on level `i`. Each level refines directly on its arena slice
+/// ([`CsrView`](ppn_graph::CsrView)) — no per-level graph or CSR is
+/// materialised. Levels at or above
+/// [`parallel_refine_min_nodes`](GpParams::parallel_refine_min_nodes)
+/// take the parallel frozen-evaluation sweep.
 fn refine_up(
-    hier: &GpHierarchy,
+    hier: &FlatHierarchy,
     range: std::ops::Range<usize>,
     mut p: Partition,
     c: &Constraints,
@@ -35,18 +39,18 @@ fn refine_up(
     stream: u64,
 ) -> Partition {
     for i in range.rev() {
-        let level = &hier.levels[i];
-        p = p.project(&level.map.map);
-        constrained_refine(
-            &level.fine,
-            &mut p,
-            c,
-            &RefineOptions {
-                max_passes: params.refine_passes,
-                seed: derive_seed(params.seed, stream ^ (i as u64) << 8),
-                protect_nonempty: true,
-            },
-        );
+        p = p.project(hier.map(i));
+        let level = hier.level(i).csr_view();
+        let opts = RefineOptions {
+            max_passes: params.refine_passes,
+            seed: derive_seed(params.seed, stream ^ (i as u64) << 8),
+            protect_nonempty: true,
+        };
+        if params.parallel && level.num_nodes() >= params.parallel_refine_min_nodes {
+            constrained_refine_parallel_csr(level, &mut p, c, &opts);
+        } else {
+            constrained_refine_csr(level, &mut p, c, &opts);
+        }
     }
     p
 }
@@ -73,14 +77,18 @@ pub fn gp_partition(
         let cycle_seed = derive_seed(params.seed, 0xC1C + cycle as u64);
 
         // hierarchy for this cycle ("go back to coarsening phase …
-        // randomly, cyclically")
+        // randomly, cyclically") — built in the flat level arena; the
+        // Cow-based gp_coarsen survives as the property-test oracle
         let t0 = Instant::now();
-        let hier = gp_coarsen(g, &matchings, params.coarsen_to, cycle_seed);
+        let hier = gp_coarsen_flat(g, &matchings, params.coarsen_to, cycle_seed);
         phases.coarsen_s += t0.elapsed().as_secs_f64();
-        let levels = hier.levels.len();
+        let levels = hier.depth() - 1;
         let mid = levels / 2;
         let sizes = hier.size_trace();
-        let level_winners: Vec<_> = hier.levels.iter().map(|l| l.matching_kind).collect();
+        let level_winners = hier.winners.clone();
+        // the coarsest graph is tiny (~coarsen_to nodes); materialise it
+        // once per cycle for the initial partitioner
+        let coarsest = hier.coarsest_graph();
 
         // generate intermediate clustering candidates
         let attempts = params.intermediate_attempts.max(1);
@@ -89,7 +97,7 @@ pub fn gp_partition(
             let attempt_seed = derive_seed(cycle_seed, attempt as u64);
             let t0 = Instant::now();
             let p0 = greedy_initial_partition(
-                hier.coarsest(),
+                &coarsest,
                 k,
                 c,
                 &InitialOptions {
@@ -104,13 +112,10 @@ pub fn gp_partition(
             let t0 = Instant::now();
             let p_mid = refine_up(&hier, mid..levels, p0, c, params, attempt_seed);
             phases.refine_s += t0.elapsed().as_secs_f64();
-            let mid_graph = if mid < levels {
-                &hier.levels[mid].fine
-            } else {
-                hier.coarsest()
-            };
-            let goodness =
-                PartitionQuality::measure(mid_graph, &p_mid).goodness_key(c.rmax, c.bmax);
+            // level `mid` exists for every mid <= levels (level `levels`
+            // is the coarsest); measure it straight off the arena slice
+            let goodness = PartitionQuality::measure_csr(hier.level(mid).csr_view(), &p_mid)
+                .goodness_key(c.rmax, c.bmax);
             trace.push(CycleTrace {
                 cycle,
                 attempt,

@@ -31,7 +31,7 @@
 use gp_classic::matching::shuffled_sorted_edges;
 use ppn_graph::matching::Matching;
 use ppn_graph::prng::XorShift128Plus;
-use ppn_graph::WeightedGraph;
+use ppn_graph::{EdgeId, GraphView, NodeId};
 
 /// One Lloyd assignment step by linear scan: for each value, the index of
 /// the nearest centroid, ties to the smallest centroid index (`min_by`
@@ -183,8 +183,8 @@ pub fn kmeans_1d_reference(values: &[f64], k: usize, seed: u64, iters: usize) ->
     kmeans_1d_impl(values, k, seed, iters, false)
 }
 
-fn kmeans_matching_impl(
-    g: &WeightedGraph,
+fn kmeans_matching_impl<G: GraphView>(
+    g: &G,
     seed: u64,
     edges: &[(u64, u32)],
     fast: bool,
@@ -194,13 +194,15 @@ fn kmeans_matching_impl(
     if n < 2 {
         return m;
     }
-    let values: Vec<f64> = g.node_ids().map(|v| g.node_weight(v) as f64).collect();
+    let values: Vec<f64> = (0..n)
+        .map(|v| g.node_weight(NodeId::from_index(v)) as f64)
+        .collect();
     let k = (n / 8).max(2).min(n);
     let clusters = kmeans_1d_impl(&values, k, seed, 32, fast);
 
     // heavy-edge scan restricted to same-cluster endpoints
     for &(w, eid) in edges {
-        let (u, v, _) = g.edge(ppn_graph::EdgeId(eid));
+        let (u, v, _) = g.edge(EdgeId(eid));
         if clusters[u.index()] != clusters[v.index()] {
             continue;
         }
@@ -212,7 +214,7 @@ fn kmeans_matching_impl(
     // so the contraction keeps shrinking (pure within-cluster matching
     // can stall on weight-diverse graphs)
     for &(w, eid) in edges {
-        let (u, v, _) = g.edge(ppn_graph::EdgeId(eid));
+        let (u, v, _) = g.edge(EdgeId(eid));
         if !m.is_matched(u) && !m.is_matched(v) {
             m.add_pair_absorbing(u, v, w);
         }
@@ -224,7 +226,7 @@ fn kmeans_matching_impl(
 /// within each cluster. Nodes whose entire neighbourhood lies in other
 /// clusters stay unmatched (they survive as singletons, exactly like in
 /// the other matchings).
-pub fn kmeans_matching(g: &WeightedGraph, seed: u64) -> Matching {
+pub fn kmeans_matching<G: GraphView>(g: &G, seed: u64) -> Matching {
     let mut edges = Vec::new();
     shuffled_sorted_edges(g, seed ^ 0x4B4D_4541_4E53, &mut edges);
     kmeans_matching_impl(g, seed, &edges, true)
@@ -234,14 +236,14 @@ pub fn kmeans_matching(g: &WeightedGraph, seed: u64) -> Matching {
 /// `gp_classic::shuffled_sorted_edges`): the per-level tournament builds
 /// the order once and shares it with heavy-edge matching. `seed` still
 /// drives the k-means centroid jitter.
-pub fn kmeans_matching_prepared(g: &WeightedGraph, seed: u64, edges: &[(u64, u32)]) -> Matching {
+pub fn kmeans_matching_prepared<G: GraphView>(g: &G, seed: u64, edges: &[(u64, u32)]) -> Matching {
     kmeans_matching_impl(g, seed, edges, true)
 }
 
 /// [`kmeans_matching_prepared`] with the reference Lloyd scan — the
 /// perf-harness baseline backend. Identical output.
-pub fn kmeans_matching_prepared_reference(
-    g: &WeightedGraph,
+pub fn kmeans_matching_prepared_reference<G: GraphView>(
+    g: &G,
     seed: u64,
     edges: &[(u64, u32)],
 ) -> Matching {
@@ -251,6 +253,7 @@ pub fn kmeans_matching_prepared_reference(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ppn_graph::WeightedGraph;
 
     #[test]
     fn kmeans_1d_separates_two_blobs() {

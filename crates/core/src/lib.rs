@@ -49,15 +49,18 @@ pub mod refine_reference;
 pub mod report;
 
 pub use coarsen::{
-    best_matching, best_matching_in, gp_coarsen, gp_coarsen_observed, gp_coarsen_owned,
-    gp_coarsen_reference, CoarsenBackend, GpHierarchy, GpLevel, HeuristicTiming, LevelTiming,
-    MatchScratch,
+    best_matching, best_matching_in, gp_coarsen, gp_coarsen_flat, gp_coarsen_flat_observed,
+    gp_coarsen_observed, gp_coarsen_owned, gp_coarsen_reference, CoarsenBackend, FlatHierarchy,
+    GpHierarchy, GpLevel, HeuristicTiming, LevelTiming, MatchScratch,
 };
 pub use cycle::gp_partition;
 pub use initial::{greedy_initial_partition, InitialOptions};
 pub use kmeans::kmeans_matching;
 pub use params::{GpParams, MatchingKind};
-pub use refine::{constrained_refine, ConstrainedState, MoveDelta, RefineOptions};
+pub use refine::{
+    constrained_refine, constrained_refine_csr, constrained_refine_parallel,
+    constrained_refine_parallel_csr, ConstrainedState, MoveDelta, RefineOptions,
+};
 pub use refine_reference::constrained_refine_reference;
 pub use report::{CycleTrace, GpInfeasible, GpResult, PhaseSeconds};
 

@@ -77,9 +77,24 @@ pub struct GpParams {
     /// Evaluate restarts/matchings in parallel with rayon (results are
     /// identical either way; selection uses a total order).
     pub parallel: bool,
+    /// Hierarchy levels with at least this many nodes refine with the
+    /// parallel frozen-evaluation sweep
+    /// ([`constrained_refine_parallel_csr`](crate::refine::constrained_refine_parallel_csr))
+    /// instead of the serial engine — deterministic at any thread count
+    /// and sharing the serial engine's fixed points, but free to take a
+    /// different (equally valid) move sequence, so the default keeps
+    /// every level below a million-node scale on the serial path and
+    /// historical outputs bit-identical. Only effective when
+    /// [`parallel`](GpParams::parallel) is set; `usize::MAX` disables.
+    #[serde(default = "default_parallel_refine_min_nodes")]
+    pub parallel_refine_min_nodes: usize,
     /// Enter the node-scan HEM variant as a fourth tournament entrant
     /// (off by default: the paper runs exactly three heuristics).
     pub node_scan_hem: bool,
+}
+
+fn default_parallel_refine_min_nodes() -> usize {
+    200_000
 }
 
 impl Default for GpParams {
@@ -93,6 +108,7 @@ impl Default for GpParams {
             refine_passes: 8,
             seed: 0xCA77A,
             parallel: true,
+            parallel_refine_min_nodes: default_parallel_refine_min_nodes(),
             node_scan_hem: false,
         }
     }
@@ -167,6 +183,21 @@ mod tests {
         assert_eq!(MatchingKind::HeavyEdge.to_string(), "heavy-edge");
         assert_eq!(MatchingKind::KMeans.to_string(), "k-means");
         assert_eq!(MatchingKind::HeavyEdgeNodeScan.to_string(), "hem-node-scan");
+    }
+
+    #[test]
+    fn parallel_refine_threshold_defaults_when_absent() {
+        // a params blob serialized before the field existed still parses
+        // and lands on the documented default
+        let old = r#"{"coarsen_to":100,"initial_restarts":10,"matchings":["Random"],
+                      "max_cycles":10,"intermediate_attempts":3,"refine_passes":8,
+                      "seed":1,"parallel":true,"node_scan_hem":false}"#;
+        let p: GpParams = serde_json::from_str(old).unwrap();
+        assert_eq!(p.parallel_refine_min_nodes, 200_000);
+        assert_eq!(
+            p.parallel_refine_min_nodes,
+            GpParams::default().parallel_refine_min_nodes
+        );
     }
 
     #[test]

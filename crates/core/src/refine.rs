@@ -34,10 +34,34 @@
 //! same invariants (violations never increase; the cut never increases
 //! while feasible) and the same fixed points, validated by the property
 //! suite.
+//!
+//! ## CSR-native entry and the parallel sweep
+//!
+//! The engine borrows a [`CsrView`] rather than owning a [`Csr`], so
+//! the flat level arena's per-level slices refine in place with zero
+//! copies ([`constrained_refine_csr`]); [`constrained_refine`] stays as
+//! the graph-input wrapper, snapshotting a `Csr` exactly as before —
+//! all outputs are bit-identical.
+//!
+//! [`constrained_refine_parallel_csr`] is the million-node variant: each
+//! pass first *frozen-evaluates* every active node against the current
+//! (immutable) state in parallel — pure reads, order-independent, so
+//! the candidate set is identical at any `RAYON_NUM_THREADS` — and then
+//! commits serially in the pass's visit order, re-validating each
+//! candidate against the live state before applying. The commit step
+//! makes every applied move exactly a serial-engine move, so the
+//! invariants (violations never increase; the cut never increases while
+//! feasible) carry over unchanged, and a state where the frozen sweep
+//! finds no candidate is precisely a state where the serial sweep would
+//! apply no move: the two engines share fixed points, which the
+//! `parallel_properties` suite checks at 1, 2 and 8 threads.
 
-use ppn_graph::metrics::CutMatrix;
+use ppn_graph::metrics::{part_weights_csr, CutMatrix};
 use ppn_graph::prng::{derive_seed, XorShift128Plus};
-use ppn_graph::{Boundary, Constraints, Csr, NodeId, Partition, WeightedGraph};
+use ppn_graph::{Boundary, Constraints, Csr, CsrView, NodeId, Partition, WeightedGraph};
+
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
 
 /// Incrementally-maintained constraint bookkeeping for a partition.
 #[derive(Clone, Debug)]
@@ -154,15 +178,40 @@ impl ConstrainedState {
     /// [`violation`](ConstrainedState::violation) becomes O(1) and is
     /// maintained incrementally across [`apply_move`](ConstrainedState::apply_move).
     pub fn new_tracked(g: &WeightedGraph, p: &Partition, c: &Constraints) -> Self {
-        let mut s = Self::new(g, p);
-        s.cut.track_bmax(c.bmax);
-        s.tracked_rmax = c.rmax;
-        s.res_excess = s
+        Self::new(g, p).with_tracking(c)
+    }
+
+    /// [`new`](ConstrainedState::new) off a CSR view (the flat level
+    /// arena's per-level form). Bit-identical to the graph constructor:
+    /// the traffic matrix and part weights are order-independent `u64`
+    /// sums.
+    pub fn new_csr(csr: CsrView<'_>, p: &Partition) -> Self {
+        let cut = CutMatrix::compute_csr(csr, p);
+        let total_cut = cut.total_cut();
+        ConstrainedState {
+            cut,
+            part_weights: part_weights_csr(csr, p),
+            part_sizes: p.part_sizes(),
+            total_cut,
+            tracked_rmax: u64::MAX,
+            res_excess: 0,
+        }
+    }
+
+    /// [`new_tracked`](ConstrainedState::new_tracked) off a CSR view.
+    pub fn new_tracked_csr(csr: CsrView<'_>, p: &Partition, c: &Constraints) -> Self {
+        Self::new_csr(csr, p).with_tracking(c)
+    }
+
+    fn with_tracking(mut self, c: &Constraints) -> Self {
+        self.cut.track_bmax(c.bmax);
+        self.tracked_rmax = c.rmax;
+        self.res_excess = self
             .part_weights
             .iter()
             .map(|&w| w.saturating_sub(c.rmax))
             .sum();
-        s
+        self
     }
 
     /// Current violation magnitude against `c`. O(1) when the state was
@@ -278,11 +327,13 @@ impl Default for RefineOptions {
     }
 }
 
-/// The boundary-driven refinement engine: CSR snapshot, incremental
-/// constraint state, boundary set, and reusable scratch buffers. All
-/// per-move work is allocation-free.
-struct RefineEngine {
-    csr: Csr,
+/// The boundary-driven refinement engine: a borrowed CSR view,
+/// incremental constraint state, boundary set, and reusable scratch
+/// buffers. All per-move work is allocation-free. Borrowing (rather
+/// than owning) the CSR is what lets the flat level arena's per-level
+/// slices refine without a copy.
+struct RefineEngine<'a> {
+    csr: CsrView<'a>,
     state: ConstrainedState,
     boundary: Boundary,
     /// k-length copy of the mover's connectivity row (the row mutates
@@ -293,11 +344,10 @@ struct RefineEngine {
     uvw: Vec<u64>,
 }
 
-impl RefineEngine {
-    fn new(g: &WeightedGraph, p: &Partition, c: &Constraints) -> Self {
-        let csr = Csr::from_graph(g);
-        let state = ConstrainedState::new_tracked(g, p, c);
-        let boundary = Boundary::new(&csr, p);
+impl<'a> RefineEngine<'a> {
+    fn new(csr: CsrView<'a>, p: &Partition, c: &Constraints) -> Self {
+        let state = ConstrainedState::new_tracked_csr(csr, p, c);
+        let boundary = Boundary::new(csr, p);
         let k = p.k();
         let n = csr.num_nodes();
         RefineEngine {
@@ -319,7 +369,7 @@ impl RefineEngine {
         let dcut = self.state.cut.apply_conn_row_move(&self.row, from, to);
         self.state
             .apply_bookkeeping(from as usize, to as usize, self.csr.vwgt[v.index()], dcut);
-        self.boundary.apply_move(&self.csr, p, v, from, to);
+        self.boundary.apply_move(self.csr, p, v, from, to);
         p.assign(v, to);
     }
 
@@ -344,18 +394,21 @@ impl RefineEngine {
         }
     }
 
-    /// Find and apply the best strictly-improving move of `v`, if any.
-    fn try_best_move(
-        &mut self,
-        p: &mut Partition,
+    /// The best strictly-improving move of `v` against the *current*
+    /// state, or `None`. Read-only — this is the half of
+    /// [`try_best_move`](RefineEngine::try_best_move) the parallel
+    /// frozen-evaluation sweep runs concurrently across nodes.
+    fn best_move_for(
+        &self,
+        p: &Partition,
         c: &Constraints,
         v: NodeId,
         protect_nonempty: bool,
-    ) -> bool {
+    ) -> Option<(MoveDelta, u32)> {
         let k = self.state.cut.k();
         let from = p.part_of(v) as usize;
         if protect_nonempty && self.state.part_sizes[from] == 1 {
-            return false;
+            return None;
         }
         // candidate targets: parts in the neighbourhood (cut can only
         // improve toward those), plus — when the source part violates
@@ -411,11 +464,52 @@ impl RefineEngine {
                 consider(t, row);
             }
         }
-        if let Some((_, t)) = best {
+        best
+    }
+
+    /// Find and apply the best strictly-improving move of `v`, if any.
+    fn try_best_move(
+        &mut self,
+        p: &mut Partition,
+        c: &Constraints,
+        v: NodeId,
+        protect_nonempty: bool,
+    ) -> bool {
+        if let Some((_, t)) = self.best_move_for(p, c, v, protect_nonempty) {
             self.apply(p, v, t);
             true
         } else {
             false
+        }
+    }
+
+    /// Frozen-evaluation sweep: mark which active nodes have a strictly
+    /// improving move against the current (immutable) state. Pure reads,
+    /// evaluated in parallel when the `parallel` feature is on; each
+    /// node's verdict depends only on the frozen state, so the output is
+    /// identical at any thread count (and to a sequential scan).
+    fn frozen_candidates(
+        &self,
+        p: &Partition,
+        c: &Constraints,
+        active: &[NodeId],
+        protect_nonempty: bool,
+    ) -> Vec<bool> {
+        #[cfg(feature = "parallel")]
+        {
+            active
+                .iter()
+                .copied()
+                .into_par_iter()
+                .map(|v| self.best_move_for(p, c, v, protect_nonempty).is_some())
+                .collect()
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            active
+                .iter()
+                .map(|&v| self.best_move_for(p, c, v, protect_nonempty).is_some())
+                .collect()
         }
     }
 
@@ -566,11 +660,63 @@ pub fn constrained_refine(
     c: &Constraints,
     opts: &RefineOptions,
 ) -> usize {
+    let csr = Csr::from_graph(g);
+    constrained_refine_csr(&csr, p, c, opts)
+}
+
+/// [`constrained_refine`] off a borrowed CSR view — the entry the flat
+/// level arena's per-level slices use, with no graph materialisation
+/// and no CSR copy. Bit-identical to the graph entry on the same
+/// topology (the wrapper above delegates here).
+pub fn constrained_refine_csr<'a>(
+    csr: impl Into<CsrView<'a>>,
+    p: &mut Partition,
+    c: &Constraints,
+    opts: &RefineOptions,
+) -> usize {
+    refine_entry(csr.into(), p, c, opts, false)
+}
+
+/// Parallel-sweep constrained refinement (see the module docs): each
+/// pass frozen-evaluates the active set in parallel, then commits
+/// serially in visit order, re-validating every candidate against the
+/// live state. Deterministic and independent of `RAYON_NUM_THREADS`;
+/// shares all invariants and fixed points with [`constrained_refine`],
+/// but interior passes may take different (equally valid) move
+/// sequences — callers gate it by graph size, where the frozen sweep's
+/// O(active · k) evaluation dwarfs the serial commit.
+pub fn constrained_refine_parallel(
+    g: &WeightedGraph,
+    p: &mut Partition,
+    c: &Constraints,
+    opts: &RefineOptions,
+) -> usize {
+    let csr = Csr::from_graph(g);
+    constrained_refine_parallel_csr(&csr, p, c, opts)
+}
+
+/// [`constrained_refine_parallel`] off a borrowed CSR view.
+pub fn constrained_refine_parallel_csr<'a>(
+    csr: impl Into<CsrView<'a>>,
+    p: &mut Partition,
+    c: &Constraints,
+    opts: &RefineOptions,
+) -> usize {
+    refine_entry(csr.into(), p, c, opts, true)
+}
+
+fn refine_entry(
+    csr: CsrView<'_>,
+    p: &mut Partition,
+    c: &Constraints,
+    opts: &RefineOptions,
+    parallel: bool,
+) -> usize {
     assert!(p.is_complete(), "refinement needs a complete partition");
-    if g.num_nodes() == 0 || p.k() <= 1 {
+    if csr.num_nodes() == 0 || p.k() <= 1 {
         return 0;
     }
-    let mut engine = RefineEngine::new(g, p, c);
+    let mut engine = RefineEngine::new(csr, p, c);
     let mut rng = XorShift128Plus::new(derive_seed(opts.seed, 0xC0F1));
     let mut active: Vec<NodeId> = Vec::new();
     let mut total_moves = 0;
@@ -579,9 +725,21 @@ pub fn constrained_refine(
         engine.collect_active(p, c, &mut active);
         rng.shuffle(&mut active);
         let mut moves = 0;
-        for &v in &active {
-            if engine.try_best_move(p, c, v, opts.protect_nonempty) {
-                moves += 1;
+        if parallel {
+            // frozen-eval in parallel, commit serially in visit order;
+            // the first commit re-validates against an unchanged state,
+            // so a non-empty candidate set always yields >= 1 move
+            let candidates = engine.frozen_candidates(p, c, &active, opts.protect_nonempty);
+            for (&v, &is_candidate) in active.iter().zip(&candidates) {
+                if is_candidate && engine.try_best_move(p, c, v, opts.protect_nonempty) {
+                    moves += 1;
+                }
+            }
+        } else {
+            for &v in &active {
+                if engine.try_best_move(p, c, v, opts.protect_nonempty) {
+                    moves += 1;
+                }
             }
         }
         total_moves += moves;

@@ -16,7 +16,7 @@
 //! two entries and its membership re-derived in O(1). Inner loops run
 //! off a [`Csr`] snapshot, not the pointer-chasing adjacency lists.
 
-use crate::csr::Csr;
+use crate::csr::CsrView;
 use crate::ids::NodeId;
 use crate::partition::Partition;
 
@@ -45,8 +45,10 @@ pub struct Boundary {
 
 impl Boundary {
     /// Build the boundary state for a complete partition over the CSR
-    /// snapshot `csr`.
-    pub fn new(csr: &Csr, p: &Partition) -> Self {
+    /// snapshot `csr` (an owned [`crate::Csr`] by reference, or a
+    /// [`CsrView`] straight off the level arena).
+    pub fn new<'a>(csr: impl Into<CsrView<'a>>, p: &Partition) -> Self {
+        let csr = csr.into();
         let n = csr.num_nodes();
         let k = p.k();
         assert_eq!(n, p.len(), "partition/graph size mismatch");
@@ -172,7 +174,15 @@ impl Boundary {
     /// Apply the move `v: from → to`. May be called before or after the
     /// partition entry of `v` itself is rewritten — only the entries of
     /// *other* nodes are read from `p`. Cost: O(degree(v)).
-    pub fn apply_move(&mut self, csr: &Csr, p: &Partition, v: NodeId, from: u32, to: u32) {
+    pub fn apply_move<'a>(
+        &mut self,
+        csr: impl Into<CsrView<'a>>,
+        p: &Partition,
+        v: NodeId,
+        from: u32,
+        to: u32,
+    ) {
+        let csr = csr.into();
         if from == to {
             return;
         }
@@ -211,6 +221,7 @@ impl Boundary {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::Csr;
     use crate::graph::WeightedGraph;
 
     /// 0-1-2-3 path plus a 0-3 chord, distinct weights.

@@ -25,7 +25,94 @@ pub struct Csr {
     pub vwgt: Vec<u64>,
 }
 
+/// Borrowed CSR triple — the argument type of every hot loop that only
+/// *reads* a CSR graph (boundary maintenance, refinement, metrics).
+///
+/// An owned [`Csr`] converts with [`Csr::view`] (or `Into`); the flat
+/// level arena hands out `CsrView`s over its per-level slices with zero
+/// copying, which is what lets the refinement engine run on arena levels
+/// without materialising a graph per level.
+#[derive(Clone, Copy, Debug)]
+pub struct CsrView<'a> {
+    /// Offsets into `adjncy`, length `n + 1`.
+    pub xadj: &'a [usize],
+    /// Concatenated neighbour ids (each undirected edge appears twice).
+    pub adjncy: &'a [u32],
+    /// Edge weights parallel to `adjncy`.
+    pub adjwgt: &'a [u64],
+    /// Node (resource) weights, length `n`.
+    pub vwgt: &'a [u64],
+}
+
+impl<'a> CsrView<'a> {
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Neighbour ids of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &'a [u32] {
+        &self.adjncy[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// Edge weights aligned with [`neighbors`](CsrView::neighbors).
+    #[inline]
+    pub fn neighbor_weights(&self, v: usize) -> &'a [u64] {
+        &self.adjwgt[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// Iterate `(neighbour, edge weight)` of `v`.
+    #[inline]
+    pub fn neighbor_iter(&self, v: usize) -> impl Iterator<Item = (usize, u64)> + 'a {
+        self.neighbors(v)
+            .iter()
+            .zip(self.neighbor_weights(v))
+            .map(|(&n, &w)| (n as usize, w))
+    }
+
+    /// Total node weight.
+    pub fn total_node_weight(&self) -> u64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Sum of `adjwgt` halved (each edge counted twice).
+    pub fn total_edge_weight(&self) -> u64 {
+        self.adjwgt.iter().sum::<u64>() / 2
+    }
+}
+
+impl<'a> From<&'a Csr> for CsrView<'a> {
+    fn from(c: &'a Csr) -> Self {
+        c.view()
+    }
+}
+
 impl Csr {
+    /// Borrow this CSR as a [`CsrView`].
+    #[inline]
+    pub fn view(&self) -> CsrView<'_> {
+        CsrView {
+            xadj: &self.xadj,
+            adjncy: &self.adjncy,
+            adjwgt: &self.adjwgt,
+            vwgt: &self.vwgt,
+        }
+    }
+
     /// Build a CSR snapshot from `g`.
     pub fn from_graph(g: &WeightedGraph) -> Self {
         let n = g.num_nodes();
@@ -185,5 +272,25 @@ mod tests {
         assert_eq!(c.num_nodes(), 0);
         assert_eq!(c.num_edges(), 0);
         assert_eq!(c.xadj, vec![0]);
+    }
+
+    #[test]
+    fn view_mirrors_owned_csr() {
+        let g = path4();
+        let c = Csr::from_graph(&g);
+        let v: CsrView<'_> = (&c).into();
+        assert_eq!(v.num_nodes(), c.num_nodes());
+        assert_eq!(v.num_edges(), c.num_edges());
+        assert_eq!(v.total_node_weight(), c.total_node_weight());
+        assert_eq!(v.total_edge_weight(), c.total_edge_weight());
+        for n in 0..c.num_nodes() {
+            assert_eq!(v.neighbors(n), c.neighbors(n));
+            assert_eq!(v.neighbor_weights(n), c.neighbor_weights(n));
+            assert_eq!(v.degree(n), c.degree(n));
+            assert_eq!(
+                v.neighbor_iter(n).collect::<Vec<_>>(),
+                c.neighbor_iter(n).collect::<Vec<_>>()
+            );
+        }
     }
 }

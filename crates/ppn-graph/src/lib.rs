@@ -20,6 +20,7 @@
 //! matrix format as used by the paper's MATLAB setup, DOT, JSON).
 
 pub mod algo;
+pub mod arena;
 pub mod boundary;
 pub mod constraints;
 pub mod contract;
@@ -32,14 +33,17 @@ pub mod matching;
 pub mod metrics;
 pub mod partition;
 pub mod prng;
+pub mod view;
 
+pub use arena::{LevelArena, LevelView};
 pub use boundary::Boundary;
 pub use constraints::{ConstraintReport, Constraints};
 pub use contract::{contract, contract_reference, contract_with, CoarseMap, ContractScratch};
-pub use csr::Csr;
+pub use csr::{Csr, CsrView};
 pub use error::GraphError;
 pub use graph::WeightedGraph;
 pub use ids::{EdgeId, NodeId};
 pub use matching::Matching;
 pub use metrics::{CutMatrix, PartitionQuality};
 pub use partition::Partition;
+pub use view::GraphView;

@@ -6,9 +6,9 @@
 //! live in `gp-core`; this module defines the shared representation plus
 //! the basic random maximal matching used by every multilevel scheme.
 
-use crate::graph::WeightedGraph;
 use crate::ids::NodeId;
 use crate::prng::XorShift128Plus;
+use crate::view::GraphView;
 
 /// A matching over the nodes of a graph: `mate[v]` is `Some(u)` iff edge
 /// `(v, u)` belongs to the matching. Unmatched nodes have `None` and are
@@ -116,12 +116,13 @@ impl Matching {
 
     /// Check symmetry (`mate[mate[v]] == v`), no self-matches, and that
     /// every matched pair is an actual edge of `g`.
-    pub fn validate(&self, g: &WeightedGraph) -> bool {
+    pub fn validate<G: GraphView>(&self, g: &G) -> bool {
         if self.mate.len() != g.num_nodes() {
             return false;
         }
-        for v in g.node_ids() {
-            if let Some(u) = self.mate[v.index()] {
+        for vi in 0..g.num_nodes() {
+            let v = NodeId::from_index(vi);
+            if let Some(u) = self.mate[vi] {
                 if u == v {
                     return false;
                 }
@@ -138,10 +139,12 @@ impl Matching {
 
     /// True when no unmatched node has an unmatched neighbour (the
     /// matching cannot be extended): the definition of *maximal*.
-    pub fn is_maximal(&self, g: &WeightedGraph) -> bool {
-        for v in g.node_ids() {
-            if self.mate[v.index()].is_none() {
-                for &(u, _) in g.neighbors(v) {
+    pub fn is_maximal<G: GraphView>(&self, g: &G) -> bool {
+        for vi in 0..g.num_nodes() {
+            if self.mate[vi].is_none() {
+                let v = NodeId::from_index(vi);
+                for i in 0..g.degree(v) {
+                    let (u, _) = g.neighbor(v, i);
                     if self.mate[u.index()].is_none() {
                         return false;
                     }
@@ -155,10 +158,11 @@ impl Matching {
     /// inside coarse nodes after contraction). This is the reference
     /// O(matched · degree) scan; hot paths read the incrementally
     /// maintained [`absorbed`](Matching::absorbed) instead.
-    pub fn absorbed_weight(&self, g: &WeightedGraph) -> u64 {
+    pub fn absorbed_weight<G: GraphView>(&self, g: &G) -> u64 {
         let mut s = 0;
-        for v in g.node_ids() {
-            if let Some(u) = self.mate[v.index()] {
+        for vi in 0..g.num_nodes() {
+            let v = NodeId::from_index(vi);
+            if let Some(u) = self.mate[vi] {
                 if v < u {
                     if let Some(e) = g.find_edge(v, u) {
                         s += g.edge_weight(e);
@@ -172,9 +176,13 @@ impl Matching {
 
 /// Random maximal matching (paper §IV-A): visit nodes in random order; an
 /// unmatched node picks a uniformly random unmatched neighbour.
-pub fn random_maximal_matching(g: &WeightedGraph, seed: u64) -> Matching {
+///
+/// Generic over [`GraphView`]: the candidate list is built in adjacency
+/// order, so any view exposing the same adjacency order produces the
+/// bit-identical matching per seed.
+pub fn random_maximal_matching<G: GraphView>(g: &G, seed: u64) -> Matching {
     let mut rng = XorShift128Plus::new(seed);
-    let mut order: Vec<NodeId> = g.node_ids().collect();
+    let mut order: Vec<NodeId> = (0..g.num_nodes()).map(NodeId::from_index).collect();
     rng.shuffle(&mut order);
     let mut m = Matching::empty(g.num_nodes());
     let mut candidates: Vec<(NodeId, crate::ids::EdgeId)> = Vec::new();
@@ -184,10 +192,9 @@ pub fn random_maximal_matching(g: &WeightedGraph, seed: u64) -> Matching {
         }
         candidates.clear();
         candidates.extend(
-            g.neighbors(v)
-                .iter()
-                .filter(|&&(u, _)| !m.is_matched(u))
-                .copied(),
+            (0..g.degree(v))
+                .map(|i| g.neighbor(v, i))
+                .filter(|&(u, _)| !m.is_matched(u)),
         );
         if candidates.is_empty() {
             continue;
@@ -201,6 +208,7 @@ pub fn random_maximal_matching(g: &WeightedGraph, seed: u64) -> Matching {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::WeightedGraph;
 
     fn path(n: usize) -> WeightedGraph {
         let mut g = WeightedGraph::new();

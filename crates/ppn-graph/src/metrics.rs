@@ -14,10 +14,25 @@
 //! O(degree). This is what makes the constrained FM refinement of the core
 //! crate cheap.
 
+use crate::csr::CsrView;
 use crate::graph::WeightedGraph;
 use crate::ids::NodeId;
 use crate::partition::Partition;
 use serde::{Deserialize, Serialize};
+
+/// Summed node (resource) weight per part, read off a CSR view's `vwgt`
+/// — the CSR twin of [`Partition::part_weights`]. Identical output: both
+/// accumulate `u64` node weights in node-index order.
+pub fn part_weights_csr(csr: CsrView<'_>, p: &Partition) -> Vec<u64> {
+    assert_eq!(csr.num_nodes(), p.len(), "partition/graph size mismatch");
+    let mut w = vec![0u64; p.k()];
+    for (i, &q) in p.assignment().iter().enumerate() {
+        if q != Partition::UNASSIGNED {
+            w[q as usize] += csr.vwgt[i];
+        }
+    }
+    w
+}
 
 /// Symmetric K×K matrix of inter-part traffic. Entry `(a, b)` with
 /// `a != b` is the summed weight of edges with one endpoint in part `a`
@@ -70,6 +85,30 @@ impl CutMatrix {
             let (a, b) = (p.part_of(u), p.part_of(v));
             if a != b && a != Partition::UNASSIGNED && b != Partition::UNASSIGNED {
                 m.add(a as usize, b as usize, w);
+            }
+        }
+        m
+    }
+
+    /// [`compute`](CutMatrix::compute) off a CSR view. Each undirected
+    /// edge appears twice in CSR adjacency; the `u > v` guard counts it
+    /// once. Entry sums are `u64` additions, so the different traversal
+    /// order still yields the bit-identical matrix.
+    pub fn compute_csr(csr: CsrView<'_>, p: &Partition) -> Self {
+        let mut m = CutMatrix::zero(p.k());
+        for v in 0..csr.num_nodes() {
+            let a = p.part_of(NodeId::from_index(v));
+            if a == Partition::UNASSIGNED {
+                continue;
+            }
+            for (u, w) in csr.neighbor_iter(v) {
+                if u <= v {
+                    continue;
+                }
+                let b = p.part_of(NodeId::from_index(u));
+                if b != a && b != Partition::UNASSIGNED {
+                    m.add(a as usize, b as usize, w);
+                }
             }
         }
         m
@@ -316,6 +355,23 @@ impl PartitionQuality {
         }
     }
 
+    /// [`measure`](PartitionQuality::measure) off a CSR view — the form
+    /// the flat level arena's per-level views feed the mid-level
+    /// a-posteriori selection without materialising a graph. Produces
+    /// the bit-identical report (all aggregates are order-independent
+    /// `u64` sums).
+    pub fn measure_csr(csr: CsrView<'_>, p: &Partition) -> Self {
+        let cut_matrix = CutMatrix::compute_csr(csr, p);
+        let part_resources = part_weights_csr(csr, p);
+        PartitionQuality {
+            total_cut: cut_matrix.total_cut(),
+            max_local_bandwidth: cut_matrix.max_local_bandwidth(),
+            max_resource: part_resources.iter().copied().max().unwrap_or(0),
+            part_resources,
+            cut_matrix,
+        }
+    }
+
     /// Lexicographic goodness key used by the paper's algorithm to rank
     /// candidate partitionings: fewer violated constraints first, then
     /// smaller violation magnitude, then smaller cut. Lower is better.
@@ -511,6 +567,47 @@ mod tests {
         assert_eq!(q.max_local_bandwidth, 6);
         assert_eq!(q.max_resource, 70); // parts: 10+20=30, 30+40=70
         assert_eq!(q.part_resources, vec![30, 70]);
+    }
+
+    #[test]
+    fn csr_twins_match_graph_forms() {
+        let g = cycle4().unwrap();
+        let csr = crate::csr::Csr::from_graph(&g);
+        for (assign, k) in [
+            (vec![0u32, 0, 1, 1], 2usize),
+            (vec![0, 1, 2, 3], 4),
+            (vec![0, 1, 1, 0], 2),
+            (vec![2, 2, 2, 2], 3),
+        ] {
+            let p = Partition::from_assignment(assign, k).unwrap();
+            assert_eq!(
+                CutMatrix::compute_csr(csr.view(), &p),
+                CutMatrix::compute(&g, &p)
+            );
+            assert_eq!(
+                CutMatrix::compute_csr(csr.view(), &p).total_cut(),
+                CutMatrix::compute(&g, &p).total_cut()
+            );
+            assert_eq!(part_weights_csr(csr.view(), &p), p.part_weights(&g));
+            assert_eq!(
+                PartitionQuality::measure_csr(csr.view(), &p),
+                PartitionQuality::measure(&g, &p)
+            );
+        }
+    }
+
+    #[test]
+    fn csr_twins_skip_unassigned() {
+        let g = cycle4().unwrap();
+        let csr = crate::csr::Csr::from_graph(&g);
+        let mut p = Partition::unassigned(4, 2);
+        p.assign(NodeId(0), 0);
+        p.assign(NodeId(1), 1);
+        assert_eq!(
+            CutMatrix::compute_csr(csr.view(), &p),
+            CutMatrix::compute(&g, &p)
+        );
+        assert_eq!(part_weights_csr(csr.view(), &p), p.part_weights(&g));
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Flat-arena hierarchy vs Cow-based reference, across the conformance
+//! instance families.
+//!
+//! `gp_coarsen_flat` appends compact CSR levels into one arena instead
+//! of rebuilding a `WeightedGraph` per level — but it runs the identical
+//! tournament, seeds, and stall rule, so the hierarchy it produces must
+//! be *bit-identical* to the Cow path: same size trace, same per-level
+//! fine→coarse maps, same winning heuristics, same coarse adjacency.
+//! This suite pins that equivalence over every conformance instance
+//! family (paper experiments, communities, multicast stars, chains,
+//! cliques, degenerate shapes), re-generated per `CONFORMANCE_SEED` in
+//! the CI seed matrix — the same oracle pattern `contract_reference`
+//! and `gp_coarsen_reference` establish one layer down.
+
+use ppn_partition::gp_core::{gp_coarsen, gp_coarsen_flat, gp_partition, GpParams};
+use ppn_partition::ppn_backend::{conformance_matrix, degenerate_matrix};
+use ppn_partition::ppn_graph::io::metis;
+use ppn_partition::ppn_graph::metrics::PartitionQuality;
+use ppn_partition::PartitionInstance;
+
+fn matrix_seed() -> u64 {
+    std::env::var("CONFORMANCE_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+/// All instances both suites run on, flattened into one family list.
+fn all_instances(seed: u64) -> Vec<PartitionInstance> {
+    let mut m = conformance_matrix(seed);
+    m.extend(degenerate_matrix(seed));
+    m
+}
+
+/// Assert the flat hierarchy is bit-identical to the Cow hierarchy for
+/// one instance × (coarsen_to, seed) cell.
+fn assert_hierarchies_identical(inst: &PartitionInstance, coarsen_to: usize, seed: u64) {
+    let kinds = GpParams::default().effective_matchings();
+    let ctx = format!("{} (coarsen_to {coarsen_to}, seed {seed})", inst.name);
+
+    let cow = gp_coarsen(&inst.graph, &kinds, coarsen_to, seed);
+    let flat = gp_coarsen_flat(&inst.graph, &kinds, coarsen_to, seed);
+
+    assert_eq!(cow.depth(), flat.depth(), "{ctx}: depth");
+    assert_eq!(cow.size_trace(), flat.size_trace(), "{ctx}: size trace");
+
+    let winners: Vec<_> = cow.levels.iter().map(|l| l.matching_kind).collect();
+    assert_eq!(winners, flat.winners, "{ctx}: tournament winners");
+
+    for (i, level) in cow.levels.iter().enumerate() {
+        assert_eq!(
+            level.map.map,
+            flat.map(i),
+            "{ctx}: fine→coarse map at level {i}"
+        );
+        // adjacency of every intermediate graph, via the canonical
+        // METIS serialisation (node weights, neighbor order, edge
+        // weights all captured)
+        assert_eq!(
+            metis::write(&level.fine),
+            metis::write(&flat.level(i).to_graph()),
+            "{ctx}: level {i} adjacency"
+        );
+    }
+    assert_eq!(
+        metis::write(cow.coarsest()),
+        metis::write(&flat.coarsest_graph()),
+        "{ctx}: coarsest adjacency"
+    );
+}
+
+#[test]
+fn flat_hierarchy_is_bit_identical_across_conformance_families() {
+    let seed = matrix_seed();
+    for inst in all_instances(seed) {
+        for coarsen_to in [8, 40] {
+            assert_hierarchies_identical(&inst, coarsen_to, seed ^ 0xF1A7);
+        }
+    }
+}
+
+#[test]
+fn flat_hierarchy_is_bit_identical_across_seeds() {
+    // the equivalence must hold for every tournament outcome, not just
+    // one lucky seed — vary the coarsening seed on a fixed instance set
+    let insts = all_instances(matrix_seed());
+    for s in 0..4u64 {
+        for inst in &insts {
+            assert_hierarchies_identical(inst, 12, s);
+        }
+    }
+}
+
+#[test]
+fn gp_partition_on_flat_hierarchy_stays_conformant() {
+    // the full pipeline now runs on the arena: results must remain
+    // deterministic, complete, and self-consistent on every family
+    let seed = matrix_seed();
+    for inst in all_instances(seed) {
+        let params = GpParams {
+            seed: seed ^ 0x9E37,
+            ..GpParams::default()
+        };
+        let run = || match gp_partition(&inst.graph, inst.k, &inst.constraints, &params) {
+            Ok(r) => (true, r),
+            Err(e) => (false, e.best),
+        };
+        let (feas_a, a) = run();
+        let (feas_b, b) = run();
+        assert_eq!(feas_a, feas_b, "{}: verdict flapped", inst.name);
+        assert_eq!(a.partition, b.partition, "{}: nondeterministic", inst.name);
+        assert!(a.partition.is_complete(), "{}", inst.name);
+        assert_eq!(a.partition.k(), inst.k, "{}", inst.name);
+        // reported quality equals independent recomputation
+        let q = PartitionQuality::measure(&inst.graph, &a.partition);
+        assert_eq!(q.total_cut, a.quality.total_cut, "{}", inst.name);
+        if feas_a {
+            assert!(
+                inst.constraints.check_quality(&q).is_feasible(),
+                "{}: feasible verdict contradicts reference checker",
+                inst.name
+            );
+        }
+    }
+}

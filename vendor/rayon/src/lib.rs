@@ -41,6 +41,14 @@ fn num_threads(n: usize) -> usize {
     hw.min(n).max(1)
 }
 
+/// Number of worker threads the pool would use for an unbounded amount
+/// of work — the knob `RAYON_NUM_THREADS` controls, as in real rayon.
+/// Kernels that shard work themselves (e.g. the parallel contraction in
+/// `ppn-graph`) size their shard count off this.
+pub fn current_num_threads() -> usize {
+    num_threads(usize::MAX)
+}
+
 /// Map `items` through `f` on scoped worker threads, preserving order.
 fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
 where
@@ -122,6 +130,15 @@ impl<T: Send> ParIter<T> {
     /// Collect the items, preserving order.
     pub fn collect<C: FromIterator<T>>(self) -> C {
         self.items.into_iter().collect()
+    }
+
+    /// Run `f` on every item for its side effects (e.g. writing through
+    /// disjoint `&mut` chunks), on scoped worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map_vec(self.items, &|item| f(item));
     }
 }
 
@@ -225,6 +242,23 @@ mod tests {
             std::iter::once(41u32).into_par_iter().map(|x| x + 1).min(),
             Some(42)
         );
+    }
+
+    #[test]
+    fn for_each_writes_through_disjoint_chunks() {
+        let mut data = vec![0u64; 1000];
+        let tasks: Vec<(usize, &mut [u64])> = data.chunks_mut(128).enumerate().collect();
+        tasks.into_par_iter().for_each(|(ci, chunk)| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = (ci * 128 + i) as u64;
+            }
+        });
+        assert_eq!(data, (0..1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
     }
 
     #[test]

@@ -154,3 +154,17 @@ pub fn de_field_default<T: Deserialize + Default>(obj: &Value, key: &str) -> Res
         None => Ok(T::default()),
     }
 }
+
+/// Like [`de_field`], but a missing key falls back to `default()` (the
+/// `#[serde(default = "path")]` attribute: the derive passes the named
+/// function in).
+pub fn de_field_or_else<T: Deserialize>(
+    obj: &Value,
+    key: &str,
+    default: impl FnOnce() -> T,
+) -> Result<T, Error> {
+    match obj.get(key) {
+        Some(v) => T::deserialize(v).map_err(|e| Error(format!("field `{key}`: {e}"))),
+        None => Ok(default()),
+    }
+}

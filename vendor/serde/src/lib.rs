@@ -8,7 +8,8 @@
 //! workspace derives. The textual JSON layer lives in the `serde_json`
 //! stub, which prints and parses [`Value`].
 //!
-//! Supported attribute surface: `#[serde(default)]` on named fields.
+//! Supported attribute surface: `#[serde(default)]` and
+//! `#[serde(default = "path")]` on named fields.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -16,6 +17,6 @@ mod de;
 mod ser;
 mod value;
 
-pub use de::{de_field, de_field_default, Deserialize, Error};
+pub use de::{de_field, de_field_default, de_field_or_else, Deserialize, Error};
 pub use ser::Serialize;
 pub use value::{Number, Value};

@@ -117,6 +117,14 @@ impl Value {
             .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
     }
 
+    /// Mutable object field lookup by key.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(o) => o.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
     /// One-word description of the value's kind, for error messages.
     pub fn kind(&self) -> &'static str {
         match self {

@@ -7,7 +7,8 @@
 //!
 //! Supported shapes — exactly what this workspace derives:
 //!
-//! * structs with named fields (`#[serde(default)]` honoured per field);
+//! * structs with named fields (`#[serde(default)]` and
+//!   `#[serde(default = "path")]` honoured per field);
 //! * tuple structs (newtypes serialise transparently, wider tuples as
 //!   arrays);
 //! * enums with unit variants, struct variants, and single-field tuple
@@ -18,9 +19,43 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// How a missing field deserialises.
+#[derive(Clone)]
+enum FieldDefault {
+    /// No `serde(default)`: missing is an error.
+    Required,
+    /// Bare `#[serde(default)]`: `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]`: call the named function.
+    Path(String),
+}
+
 struct Field {
     name: String,
-    default: bool,
+    default: FieldDefault,
+}
+
+impl Field {
+    /// The field's initialiser inside the generated `Deserialize` impl,
+    /// reading from the object bound to `obj`.
+    fn de_init(&self, obj: &str) -> String {
+        match &self.default {
+            FieldDefault::Required => {
+                format!(
+                    "{}: ::serde::de_field({obj}, {:?})?,\n",
+                    self.name, self.name
+                )
+            }
+            FieldDefault::Trait => format!(
+                "{}: ::serde::de_field_default({obj}, {:?})?,\n",
+                self.name, self.name
+            ),
+            FieldDefault::Path(path) => format!(
+                "{}: ::serde::de_field_or_else({obj}, {:?}, {path})?,\n",
+                self.name, self.name
+            ),
+        }
+    }
 }
 
 enum Variant {
@@ -40,37 +75,52 @@ fn is_pound(t: &TokenTree) -> bool {
     matches!(t, TokenTree::Punct(p) if p.as_char() == '#')
 }
 
-/// Does this attribute group contain `serde(... default ...)`?
-fn attr_is_serde_default(g: &proc_macro::Group) -> bool {
+/// The `default` declaration inside a `#[serde(...)]` attribute group,
+/// if any: bare `default` maps to [`FieldDefault::Trait`],
+/// `default = "path"` to [`FieldDefault::Path`] with the quoted path.
+fn attr_serde_default(g: &proc_macro::Group) -> Option<FieldDefault> {
     let mut it = g.stream().into_iter();
     match (it.next(), it.next()) {
         (Some(TokenTree::Ident(name)), Some(TokenTree::Group(inner)))
             if name.to_string() == "serde" =>
         {
-            inner
-                .stream()
-                .into_iter()
-                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default"))
+            let toks: Vec<TokenTree> = inner.stream().into_iter().collect();
+            for (i, t) in toks.iter().enumerate() {
+                if !matches!(t, TokenTree::Ident(id) if id.to_string() == "default") {
+                    continue;
+                }
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (toks.get(i + 1), toks.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let path = lit.to_string().trim_matches('"').to_string();
+                        return Some(FieldDefault::Path(path));
+                    }
+                }
+                return Some(FieldDefault::Trait);
+            }
+            None
         }
-        _ => false,
+        _ => None,
     }
 }
 
-/// Skip attributes at the cursor; returns whether `#[serde(default)]` was
-/// among them.
-fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
-    let mut has_default = false;
+/// Skip attributes at the cursor; returns the `serde(default ...)`
+/// declaration found among them (the last one wins), or
+/// [`FieldDefault::Required`] when there is none.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> FieldDefault {
+    let mut default = FieldDefault::Required;
     while *pos < tokens.len() && is_pound(&tokens[*pos]) {
         if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
-            if attr_is_serde_default(g) {
-                has_default = true;
+            if let Some(d) = attr_serde_default(g) {
+                default = d;
             }
             *pos += 2;
         } else {
             break;
         }
     }
-    has_default
+    default
 }
 
 /// Skip `pub`, `pub(crate)`, `pub(in ...)` at the cursor.
@@ -319,15 +369,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Input::NamedStruct(name, fields) => {
             let mut inits = String::new();
             for f in fields {
-                let helper = if f.default {
-                    "de_field_default"
-                } else {
-                    "de_field"
-                };
-                inits.push_str(&format!(
-                    "{}: ::serde::{helper}(__v, {:?})?,\n",
-                    f.name, f.name
-                ));
+                inits.push_str(&f.de_init("__v"));
             }
             format!("::std::result::Result::Ok({name} {{\n{inits}}})")
         }
@@ -361,12 +403,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     Variant::Struct(vn, fields) => {
                         let mut inits = String::new();
                         for f in fields {
-                            let helper =
-                                if f.default { "de_field_default" } else { "de_field" };
-                            inits.push_str(&format!(
-                                "{}: ::serde::{helper}(__inner, {:?})?,\n",
-                                f.name, f.name
-                            ));
+                            inits.push_str(&f.de_init("__inner"));
                         }
                         tagged_arms.push_str(&format!(
                             "{vn:?} => ::std::result::Result::Ok({name}::{vn} {{\n{inits}}}),\n"
