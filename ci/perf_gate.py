@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over BENCH_gp.json documents (schema 4).
+"""Perf-regression gate over BENCH_gp.json documents (schema 5).
 
 Usage: perf_gate.py BASELINE FRESH [--max-slowdown 1.4] [--min-time 0.02]
 
@@ -10,6 +10,12 @@ end-to-end throughput (edges/sec) dropped by the same factor, or when
 peak RSS more than doubled (with an absolute slack for allocator
 noise). Phases where both runs are faster than ``--min-time`` seconds
 are skipped — microsecond rows measure scheduler noise, not code.
+
+Schema 5 adds the ``budgeted`` block per workload: the same run through
+the deadline-budgeted entry point under a deadline it never hits. The
+gate asserts the harness's bit-identity claim and, on the dedicated
+overhead row (``BUDGET_GATE_ROW``), that the cooperative budget
+checkpoints cost less than ``BUDGET_OVERHEAD_MAX`` of end-to-end time.
 
 Runner-speed differences are normalised away with the documents'
 ``calibration_s`` field (a fixed deterministic spin loop timed by the
@@ -31,6 +37,10 @@ import sys
 RSS_FACTOR = 2.0
 RSS_SLACK_BYTES = 32 * 1024 * 1024
 CALIBRATION_CLAMP = (0.2, 5.0)
+# The budget-checkpoint overhead is bounded on one dedicated row: big
+# enough (~0.5s end-to-end) that 2% is signal, not scheduler noise.
+BUDGET_GATE_ROW = "scaling-32768x16"
+BUDGET_OVERHEAD_MAX = 0.02
 
 
 def load(path):
@@ -39,8 +49,8 @@ def load(path):
 
 
 def assert_schema(doc, path):
-    """Schema-4 shape assertions (replaces the old schema-3 CI check)."""
-    assert doc.get("schema") == 4, f"{path}: schema {doc.get('schema')} != 4"
+    """Schema-5 shape assertions (replaces the old schema-4 CI check)."""
+    assert doc.get("schema") == 5, f"{path}: schema {doc.get('schema')} != 5"
     assert doc.get("workloads"), f"{path}: no scaling workloads"
     assert doc.get("hyper_workloads"), f"{path}: no hypergraph workloads"
     assert doc.get("calibration_s", 0) > 0, f"{path}: missing calibration_s"
@@ -52,6 +62,14 @@ def assert_schema(doc, path):
         assert not missing, f"{path}: {name}: phases missing {missing}"
         assert w.get("edges_per_sec", 0) > 0, f"{path}: {name}: no edges_per_sec"
         assert "peak_rss_bytes" in w, f"{path}: {name}: no peak_rss_bytes"
+        budgeted = w.get("budgeted")
+        assert budgeted, f"{path}: {name}: no budgeted block"
+        assert budgeted.get("identical_partition") is True, (
+            f"{path}: {name}: budgeted run diverged from the unbudgeted one"
+        )
+        assert budgeted.get("degraded") is None, (
+            f"{path}: {name}: an unexpired budget reported degradation"
+        )
         for lvl in w.get("coarsen_levels", []):
             assert lvl.get("heuristics"), (
                 f"{path}: {name} level {lvl.get('level')}: no per-heuristic timings"
@@ -59,6 +77,28 @@ def assert_schema(doc, path):
         cc = w.get("coarsen_compare")
         if cc is not None:  # reference comparisons are size-gated
             assert cc.get("identical_hierarchy") is True, f"{path}: {name}"
+
+
+def check_budget_overhead(doc, min_time):
+    """Bound the budget-checkpoint cost on the dedicated row.
+
+    Returns a list of failure strings (empty when the row is absent —
+    smoke documents carry smaller rows — or below the noise floor).
+    """
+    failures = []
+    for w in doc["workloads"]:
+        overhead = w["budgeted"]["overhead_frac"]
+        gated = w["name"] == BUDGET_GATE_ROW and w["phases_s"]["end_to_end"] >= min_time
+        verdict = ""
+        if gated:
+            verdict = "FAIL" if overhead > BUDGET_OVERHEAD_MAX else "ok (gated)"
+            if overhead > BUDGET_OVERHEAD_MAX:
+                failures.append(
+                    f"{w['name']}: budget checkpoints cost "
+                    f"{overhead * 100:.2f}% of end-to-end "
+                    f"(limit {BUDGET_OVERHEAD_MAX * 100:.0f}%)")
+        print(f"  {w['name']:<20} budget overhead {overhead * 100:+6.2f}%  {verdict}")
+    return failures
 
 
 def main():
@@ -78,10 +118,19 @@ def main():
               f"PERF_INJECT_SLOWDOWN {base['injected_slowdown']} — refusing "
               "an injected document as the reference")
         return 1
-    if base.get("schema") != 4:
-        # bootstrap path: the first schema-4 document has no comparable
-        # baseline; shape assertions above are the whole gate
-        print(f"note: baseline schema {base.get('schema')} != 4 — "
+
+    print("budget-checkpoint overhead (fresh document):")
+    budget_failures = check_budget_overhead(fresh, args.min_time)
+    if budget_failures:
+        print("\nperf regression gate FAILED:")
+        for f in budget_failures:
+            print(f"  - {f}")
+        return 1
+
+    # schema-4 baselines predate the budgeted block but their timing
+    # rows compare one-to-one; anything older has no comparable shape
+    if base.get("schema") not in (4, 5):
+        print(f"note: baseline schema {base.get('schema')} not in (4, 5) — "
               "shape-checked fresh document only, no timing comparison")
         return 0
 

@@ -1,16 +1,31 @@
 //! The five engines of the workspace, ported onto [`Partitioner`].
 
 use crate::instance::PartitionInstance;
-use crate::outcome::{CostModel, PartitionOutcome, PhaseTiming};
+use crate::outcome::{Completion, CostModel, PartitionOutcome, PhaseTiming};
 use crate::Partitioner;
 use gp_classic::bisect::recursive_bisection;
 use gp_classic::kway::{kway_refine, KwayOptions};
-use gp_core::{gp_partition, GpParams};
-use metis_lite::{kway_partition, rb_partition, MetisOptions, RbParams};
+use gp_core::{gp_partition_budgeted, GpParams};
+use metis_lite::{kway_partition, rb_partition_budgeted, MetisOptions, RbParams};
 use ppn_graph::prng::derive_seed;
-use ppn_graph::Partition;
-use ppn_hyper::{hyper_partition, HyperParams};
+use ppn_graph::{Budget, Degradation, Partition};
+use ppn_hyper::{hyper_partition_budgeted, HyperParams};
 use std::time::Instant;
+
+/// Contiguous-fill fallback for budgetless engines (`kway`, `metis`)
+/// when the budget has already expired or cannot plausibly fit a run:
+/// a complete, balanced, zero-effort assignment marked degraded.
+fn degraded_fill(backend: &str, inst: &PartitionInstance, phase: &str) -> PartitionOutcome {
+    let p = Partition::contiguous_balanced(inst.graph.node_weights(), inst.k);
+    PartitionOutcome::measure_edge(backend, &inst.graph, p, &inst.constraints, vec![])
+        .with_completion(Completion::from_degradation(Some(Degradation::new(
+            phase,
+            format!(
+                "deadline expired; contiguous fill over {} nodes",
+                inst.num_nodes()
+            ),
+        ))))
+}
 
 /// Trivial outcome for the zero-node instance (every backend shares it:
 /// the engines assert non-empty graphs, the contract forbids panics).
@@ -44,12 +59,18 @@ impl Partitioner for GpBackend {
         CostModel::EdgeCut
     }
 
-    fn run(&self, inst: &PartitionInstance, seed: u64) -> PartitionOutcome {
+    fn run_budgeted(
+        &self,
+        inst: &PartitionInstance,
+        seed: u64,
+        budget: &Budget,
+    ) -> PartitionOutcome {
         if inst.num_nodes() == 0 {
             return empty_outcome(self.name(), inst);
         }
         let params = self.params.clone().with_seed(seed);
-        let r = match gp_partition(&inst.graph, inst.k, &inst.constraints, &params) {
+        let r = match gp_partition_budgeted(&inst.graph, inst.k, &inst.constraints, &params, budget)
+        {
             Ok(r) => r,
             Err(e) => e.best,
         };
@@ -65,6 +86,7 @@ impl Partitioner for GpBackend {
             &inst.constraints,
             timings,
         )
+        .with_completion(Completion::from_degradation(r.degraded))
     }
 }
 
@@ -88,12 +110,18 @@ impl Partitioner for RbBackend {
         CostModel::EdgeCut
     }
 
-    fn run(&self, inst: &PartitionInstance, seed: u64) -> PartitionOutcome {
+    fn run_budgeted(
+        &self,
+        inst: &PartitionInstance,
+        seed: u64,
+        budget: &Budget,
+    ) -> PartitionOutcome {
         if inst.num_nodes() == 0 {
             return empty_outcome(self.name(), inst);
         }
         let params = self.params.clone().with_seed(seed);
-        let r = match rb_partition(&inst.graph, inst.k, &inst.constraints, &params) {
+        let r = match rb_partition_budgeted(&inst.graph, inst.k, &inst.constraints, &params, budget)
+        {
             Ok(r) => r,
             Err(e) => e.best,
         };
@@ -109,6 +137,7 @@ impl Partitioner for RbBackend {
             &inst.constraints,
             timings,
         )
+        .with_completion(Completion::from_degradation(r.degraded))
     }
 }
 
@@ -145,20 +174,38 @@ impl Partitioner for KwayBackend {
         CostModel::EdgeCut
     }
 
-    fn run(&self, inst: &PartitionInstance, seed: u64) -> PartitionOutcome {
+    fn run_budgeted(
+        &self,
+        inst: &PartitionInstance,
+        seed: u64,
+        budget: &Budget,
+    ) -> PartitionOutcome {
         if inst.num_nodes() == 0 {
             return empty_outcome(self.name(), inst);
         }
         let g = &inst.graph;
         let k = inst.k;
+        if !budget.is_unlimited()
+            && (budget.expired() || !budget.admits_work(g.num_edges() as u64 * k as u64))
+        {
+            return degraded_fill(self.name(), inst, "bisect");
+        }
         let t0 = Instant::now();
         let mut p = recursive_bisection(g, k, self.balance, seed);
         let bisect_s = t0.elapsed().as_secs_f64();
+        let mut degraded = None;
         let t0 = Instant::now();
-        let mut opts = KwayOptions::balanced(g, k, self.balance);
-        opts.max_passes = self.refine_passes;
-        opts.seed = derive_seed(seed, 0x4B);
-        kway_refine(g, &mut p, &opts);
+        if budget.is_unlimited() || !budget.expired() {
+            let mut opts = KwayOptions::balanced(g, k, self.balance);
+            opts.max_passes = budget.clamp_refine_passes(self.refine_passes);
+            opts.seed = derive_seed(seed, 0x4B);
+            kway_refine(g, &mut p, &opts);
+        } else {
+            degraded = Some(Degradation::new(
+                "refine",
+                "deadline expired after bisection; refinement skipped",
+            ));
+        }
         let refine_s = t0.elapsed().as_secs_f64();
         PartitionOutcome::measure_edge(
             self.name(),
@@ -170,6 +217,7 @@ impl Partitioner for KwayBackend {
                 PhaseTiming::new("refine", refine_s),
             ],
         )
+        .with_completion(Completion::from_degradation(degraded))
     }
 }
 
@@ -193,7 +241,18 @@ impl Partitioner for MetisBackend {
         CostModel::EdgeCut
     }
 
-    fn run(&self, inst: &PartitionInstance, seed: u64) -> PartitionOutcome {
+    fn run_budgeted(
+        &self,
+        inst: &PartitionInstance,
+        seed: u64,
+        budget: &Budget,
+    ) -> PartitionOutcome {
+        if inst.num_nodes() > 0
+            && !budget.is_unlimited()
+            && (budget.expired() || !budget.admits_work(inst.graph.num_edges() as u64))
+        {
+            return degraded_fill(self.name(), inst, "kway");
+        }
         let t0 = Instant::now();
         let r = kway_partition(&inst.graph, inst.k, &self.options.clone().with_seed(seed));
         let total_s = t0.elapsed().as_secs_f64();
@@ -227,14 +286,19 @@ impl Partitioner for HyperBackend {
         CostModel::Connectivity
     }
 
-    fn run(&self, inst: &PartitionInstance, seed: u64) -> PartitionOutcome {
+    fn run_budgeted(
+        &self,
+        inst: &PartitionInstance,
+        seed: u64,
+        budget: &Budget,
+    ) -> PartitionOutcome {
         if inst.num_nodes() == 0 {
             return empty_outcome(self.name(), inst);
         }
         let hg = inst.hyper_view();
         let params = self.params.clone().with_seed(seed);
         let t0 = Instant::now();
-        let r = match hyper_partition(&hg, inst.k, &inst.constraints, &params) {
+        let r = match hyper_partition_budgeted(&hg, inst.k, &inst.constraints, &params, budget) {
             Ok(r) => r,
             Err(e) => e.best,
         };
@@ -246,6 +310,7 @@ impl Partitioner for HyperBackend {
             &inst.constraints,
             vec![PhaseTiming::new("total", total_s)],
         )
+        .with_completion(Completion::from_degradation(r.degraded))
     }
 }
 

@@ -28,14 +28,16 @@ pub struct PartitionInstance {
 }
 
 impl PartitionInstance {
-    /// Instance over a plain weighted graph.
+    /// Instance over a plain weighted graph. Construction never panics —
+    /// degenerate shapes (`k == 0`, `k > n`) are caught by
+    /// [`validate_instance`](crate::error::validate_instance) at the
+    /// `partition` boundary instead.
     pub fn from_graph(
         name: impl Into<String>,
         graph: WeightedGraph,
         k: usize,
         constraints: Constraints,
     ) -> Self {
-        assert!(k >= 1, "k must be at least 1");
         PartitionInstance {
             name: name.into(),
             graph,
@@ -63,13 +65,11 @@ impl PartitionInstance {
         }
     }
 
-    /// Attach an explicit hypergraph view (node counts must agree).
+    /// Attach an explicit hypergraph view. Node counts are expected to
+    /// agree; a mismatch is reported by [`validate`](Self::validate) /
+    /// [`validate_instance`](crate::error::validate_instance), not by a
+    /// panic here.
     pub fn with_hypergraph(mut self, hg: Hypergraph) -> Self {
-        assert_eq!(
-            self.graph.num_nodes(),
-            hg.num_nodes(),
-            "graph and hypergraph views must cover the same nodes"
-        );
         self.hyper = Some(hg);
         self
     }
@@ -142,14 +142,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn mismatched_hypergraph_rejected() {
+    fn mismatched_hypergraph_rejected_by_validate() {
         let mut g = WeightedGraph::new();
         g.add_node(5);
         let mut b = ppn_hyper::HypergraphBuilder::new();
         b.add_node(1);
         b.add_node(1);
-        let _ = PartitionInstance::from_graph("t", g, 1, Constraints::new(10, 10))
+        let inst = PartitionInstance::from_graph("t", g, 1, Constraints::new(10, 10))
             .with_hypergraph(b.build());
+        let err = inst.validate().unwrap_err();
+        assert!(err.contains("hypergraph covers"), "{err}");
+        assert!(crate::error::validate_instance(&inst).is_err());
     }
 }

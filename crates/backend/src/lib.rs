@@ -31,27 +31,39 @@
 //! asserts for every backend × instance × seed cell.
 
 pub mod backends;
+pub mod error;
 pub mod instance;
 pub mod outcome;
 pub mod registry;
+pub mod robust;
 pub mod suite;
 
 pub use backends::{GpBackend, HyperBackend, KwayBackend, MetisBackend, RbBackend};
+pub use error::{validate_instance, PartitionError};
 pub use instance::PartitionInstance;
-pub use outcome::{CostModel, CostReport, PartitionOutcome, PhaseTiming};
+pub use outcome::{Completion, CostModel, CostReport, PartitionOutcome, PhaseTiming};
+pub use ppn_graph::{Budget, Degradation};
 pub use registry::{backend_by_name, backend_names, backends};
+pub use robust::{robust_partition, BackendAttempt, RobustOutcome};
 pub use suite::{conformance_matrix, degenerate_matrix, infeasible_matrix, reference_verify};
 
 use ppn_graph::Constraints;
 
 /// A k-way partitioning engine behind the unified contract.
 ///
-/// `run` must be total: any [`PartitionInstance`] — including `k > n`
-/// and constraint sets no partition can satisfy — yields a complete
-/// best-attempt [`PartitionOutcome`], never a panic. The verdict is
-/// whatever an independent re-check of the returned partition gives
-/// under the backend's [`CostModel`]. The same `(instance, seed)` pair
-/// must reproduce the identical partition.
+/// `run_budgeted` must be total: any [`PartitionInstance`] — including
+/// `k > n` and constraint sets no partition can satisfy — yields a
+/// complete best-attempt [`PartitionOutcome`], never a panic. The
+/// verdict is whatever an independent re-check of the returned
+/// partition gives under the backend's [`CostModel`]. The same
+/// `(instance, seed)` pair under an unlimited budget must reproduce the
+/// identical partition.
+///
+/// [`partition`](Partitioner::partition) is the hardened front door:
+/// it validates the instance first, converts a raised cancel flag into
+/// [`PartitionError::BudgetExhausted`], and contains engine panics as
+/// [`PartitionError::BackendPanicked`] instead of unwinding into the
+/// caller.
 pub trait Partitioner {
     /// Registry name (`gp`, `rb`, `kway`, `metis`, `hyper`).
     fn name(&self) -> &'static str;
@@ -62,21 +74,82 @@ pub trait Partitioner {
     /// The cost model the outcome's objective and feasibility use.
     fn cost_model(&self) -> CostModel;
 
-    /// Partition the instance with the given seed.
-    fn run(&self, inst: &PartitionInstance, seed: u64) -> PartitionOutcome;
+    /// Partition the instance with the given seed under a cooperative
+    /// [`Budget`]. When the budget expires mid-run the backend returns
+    /// its best-so-far assignment with
+    /// [`Completion::Degraded`] — it does not error and does not panic.
+    fn run_budgeted(
+        &self,
+        inst: &PartitionInstance,
+        seed: u64,
+        budget: &Budget,
+    ) -> PartitionOutcome;
+
+    /// Partition the instance with the given seed and no budget.
+    fn run(&self, inst: &PartitionInstance, seed: u64) -> PartitionOutcome {
+        self.run_budgeted(inst, seed, &Budget::unlimited())
+    }
+
+    /// The validated, panic-free boundary: reject malformed instances
+    /// with [`PartitionError::InvalidInstance`] before the engine sees
+    /// them, turn a raised cancel flag into
+    /// [`PartitionError::BudgetExhausted`], and catch engine panics as
+    /// [`PartitionError::BackendPanicked`].
+    fn partition(
+        &self,
+        inst: &PartitionInstance,
+        seed: u64,
+        budget: &Budget,
+    ) -> Result<PartitionOutcome, PartitionError> {
+        validate_instance(inst)?;
+        if budget.cancelled() {
+            return Err(PartitionError::BudgetExhausted {
+                backend: self.name().to_string(),
+                phase: "start".to_string(),
+            });
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_budgeted(inst, seed, budget)
+        }));
+        match result {
+            Ok(outcome) => {
+                if budget.cancelled() {
+                    return Err(PartitionError::BudgetExhausted {
+                        backend: self.name().to_string(),
+                        phase: "finish".to_string(),
+                    });
+                }
+                Ok(outcome)
+            }
+            Err(payload) => Err(PartitionError::BackendPanicked {
+                backend: self.name().to_string(),
+                message: panic_message(payload.as_ref()),
+            }),
+        }
+    }
 }
 
-/// Convenience: resolve a backend by name and run it.
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Convenience: resolve a backend by name and run it (legacy untyped
+/// path; `run` is total, so resolution is the only failure mode).
 pub fn run_backend(
     name: &str,
     inst: &PartitionInstance,
     seed: u64,
-) -> Result<PartitionOutcome, String> {
-    let b = backend_by_name(name).ok_or_else(|| {
-        format!(
-            "unknown backend `{name}` (available: {})",
-            backend_names().join(", ")
-        )
+) -> Result<PartitionOutcome, PartitionError> {
+    let b = backend_by_name(name).ok_or_else(|| PartitionError::UnknownBackend {
+        name: name.to_string(),
+        available: backend_names().iter().map(|s| s.to_string()).collect(),
     })?;
     Ok(b.run(inst, seed))
 }

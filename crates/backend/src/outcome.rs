@@ -43,6 +43,42 @@ pub struct CostReport {
     pub part_resources: Vec<u64>,
 }
 
+/// Whether a backend ran to completion or returned best-so-far because
+/// a [`Budget`](ppn_graph::Budget) cut it short. Degraded outcomes are
+/// still complete, valid assignments — only their quality is reduced.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Completion {
+    /// Every phase ran to its configured fixed point.
+    #[default]
+    Full,
+    /// A phase stopped early; the assignment is the best one available
+    /// at that point.
+    Degraded {
+        /// The phase that was cut short (`coarsen`, `initial`, `refine`).
+        phase: String,
+        /// Why it stopped (`deadline expired`, `level cap`, …).
+        reason: String,
+    },
+}
+
+impl Completion {
+    /// Build from an engine's optional degradation record.
+    pub fn from_degradation(d: Option<ppn_graph::Degradation>) -> Self {
+        match d {
+            Some(d) => Completion::Degraded {
+                phase: d.phase,
+                reason: d.reason,
+            },
+            None => Completion::Full,
+        }
+    }
+
+    /// True when the run was cut short.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Completion::Degraded { .. })
+    }
+}
+
 /// One named phase timing (seconds). Timings are measured wall-clock —
 /// never compare them across runs.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -77,6 +113,10 @@ pub struct PartitionOutcome {
     pub report: ConstraintReport,
     /// True when `report` has no violations.
     pub feasible: bool,
+    /// Full run vs budget-degraded best-so-far (defaults to `Full` for
+    /// outcomes serialised before budgets existed).
+    #[serde(default)]
+    pub completion: Completion,
     /// Per-phase wall-clock timings.
     pub timings: Vec<PhaseTiming>,
 }
@@ -106,6 +146,7 @@ impl PartitionOutcome {
             },
             report,
             feasible,
+            completion: Completion::Full,
             timings,
         }
     }
@@ -134,8 +175,15 @@ impl PartitionOutcome {
             },
             report,
             feasible,
+            completion: Completion::Full,
             timings,
         }
+    }
+
+    /// Mark this outcome with how far the run got (builder style).
+    pub fn with_completion(mut self, completion: Completion) -> Self {
+        self.completion = completion;
+        self
     }
 
     /// Summed seconds over all phases (the `total` row when present,
@@ -154,6 +202,7 @@ impl PartitionOutcome {
             && self.cost == other.cost
             && self.report == other.report
             && self.feasible == other.feasible
+            && self.completion == other.completion
     }
 }
 

@@ -1,0 +1,182 @@
+//! The registry-level fallback driver: try an ordered list of backends
+//! until one answers.
+//!
+//! [`robust_partition`] is what a caller who wants *an* answer — not a
+//! particular engine's answer — uses: it walks the backend list in
+//! order, running each through the hardened
+//! [`Partitioner::partition`](crate::Partitioner::partition) boundary
+//! (validation, cancel handling, panic containment), and returns the
+//! first outcome together with a ledger of every attempt. A backend
+//! that panics (say, under fault injection) or errors is recorded and
+//! the next one is tried; only when every backend fails does the driver
+//! itself fail.
+//!
+//! Validation runs once up front: a malformed instance fails fast with
+//! [`PartitionError::InvalidInstance`] rather than being rejected k
+//! times in a row.
+
+use crate::error::{validate_instance, PartitionError};
+use crate::instance::PartitionInstance;
+use crate::outcome::PartitionOutcome;
+use crate::registry::backend_by_name;
+use ppn_graph::Budget;
+
+/// One entry of the fallback ledger: which backend was tried and how it
+/// went.
+#[derive(Clone, Debug)]
+pub struct BackendAttempt {
+    /// Registry name of the backend.
+    pub backend: String,
+    /// `None` when this backend produced the returned outcome; the
+    /// error it failed with otherwise.
+    pub error: Option<PartitionError>,
+}
+
+/// The result of [`robust_partition`]: the first successful outcome
+/// plus the full attempt ledger (failed attempts first, the winning one
+/// last).
+#[derive(Clone, Debug)]
+pub struct RobustOutcome {
+    /// Outcome of the backend that answered.
+    pub outcome: PartitionOutcome,
+    /// Name of the backend that answered.
+    pub served_by: String,
+    /// Every attempt in order, the successful one included.
+    pub attempts: Vec<BackendAttempt>,
+}
+
+impl RobustOutcome {
+    /// True when at least one earlier backend failed before the answer.
+    pub fn fell_back(&self) -> bool {
+        self.attempts.len() > 1
+    }
+}
+
+/// The default fallback order: the paper's engine first, then the
+/// constrained recursive-bisection alternative, then the unconstrained
+/// baseline that always produces *some* balanced assignment.
+pub const DEFAULT_FALLBACK_CHAIN: &[&str] = &["gp", "rb", "metis"];
+
+/// Run `inst` through `chain` (backend names, in fallback order; empty
+/// means [`DEFAULT_FALLBACK_CHAIN`]) under one shared `budget`. Returns
+/// the first backend's outcome that survives the hardened boundary,
+/// along with the attempt ledger. Fails with:
+///
+/// * [`PartitionError::InvalidInstance`] — the instance is malformed
+///   (checked once, before any backend runs);
+/// * [`PartitionError::UnknownBackend`] — a name in `chain` does not
+///   resolve (configuration error, fail fast);
+/// * [`PartitionError::BudgetExhausted`] — the cancel flag was raised;
+/// * [`PartitionError::AllBackendsFailed`] — every backend errored.
+pub fn robust_partition(
+    inst: &PartitionInstance,
+    seed: u64,
+    budget: &Budget,
+    chain: &[&str],
+) -> Result<RobustOutcome, PartitionError> {
+    validate_instance(inst)?;
+    let chain = if chain.is_empty() {
+        DEFAULT_FALLBACK_CHAIN
+    } else {
+        chain
+    };
+    let mut attempts: Vec<BackendAttempt> = Vec::with_capacity(chain.len());
+    for &name in chain {
+        let backend = backend_by_name(name).ok_or_else(|| PartitionError::UnknownBackend {
+            name: name.to_string(),
+            available: crate::registry::backend_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        })?;
+        match backend.partition(inst, seed, budget) {
+            Ok(outcome) => {
+                let served_by = outcome.backend.clone();
+                attempts.push(BackendAttempt {
+                    backend: name.to_string(),
+                    error: None,
+                });
+                return Ok(RobustOutcome {
+                    outcome,
+                    served_by,
+                    attempts,
+                });
+            }
+            // Cancellation is the caller saying "stop": do not burn the
+            // rest of the chain on an answer nobody wants.
+            Err(e @ PartitionError::BudgetExhausted { .. }) => return Err(e),
+            Err(e) => attempts.push(BackendAttempt {
+                backend: name.to_string(),
+                error: Some(e),
+            }),
+        }
+    }
+    Err(PartitionError::AllBackendsFailed {
+        attempts: attempts
+            .into_iter()
+            .map(|a| {
+                (
+                    a.backend,
+                    a.error.map(|e| e.to_string()).unwrap_or_default(),
+                )
+            })
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppn_graph::{Constraints, WeightedGraph};
+
+    fn chain_graph(n: usize) -> WeightedGraph {
+        let mut g = WeightedGraph::new();
+        let ids: Vec<_> = (0..n).map(|_| g.add_node(4)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], 2).unwrap();
+        }
+        g
+    }
+
+    fn inst(k: usize) -> PartitionInstance {
+        PartitionInstance::from_graph("t", chain_graph(8), k, Constraints::new(32, 32))
+    }
+
+    #[test]
+    fn first_backend_serves_when_healthy() {
+        let r = robust_partition(&inst(2), 7, &Budget::unlimited(), &[]).unwrap();
+        assert_eq!(r.served_by, "gp");
+        assert!(!r.fell_back());
+        assert!(r.outcome.partition.is_complete());
+    }
+
+    #[test]
+    fn invalid_instance_fails_before_any_backend() {
+        let bad = inst(0);
+        let err = robust_partition(&bad, 7, &Budget::unlimited(), &[]).unwrap_err();
+        assert!(matches!(err, PartitionError::InvalidInstance { .. }));
+    }
+
+    #[test]
+    fn unknown_backend_in_chain_is_a_config_error() {
+        let err = robust_partition(&inst(2), 7, &Budget::unlimited(), &["gp2"]).unwrap_err();
+        assert!(matches!(err, PartitionError::UnknownBackend { .. }));
+    }
+
+    #[test]
+    fn cancelled_budget_is_a_hard_error() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let flag = Arc::new(AtomicBool::new(true));
+        let budget = Budget::unlimited().with_cancel(flag);
+        let err = robust_partition(&inst(2), 7, &budget, &[]).unwrap_err();
+        assert!(matches!(err, PartitionError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn custom_chain_is_respected() {
+        let r = robust_partition(&inst(2), 7, &Budget::unlimited(), &["metis", "gp"]).unwrap();
+        assert_eq!(r.served_by, "metis");
+        assert_eq!(r.attempts.len(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! Quick probe of the budget-checkpoint overhead on the gated perf row
+//! (scaling-32768x16), outside the full harness.
+
+use gp_core::{gp_partition, gp_partition_budgeted, GpParams};
+use ppn_gen::dense_community_graph;
+use ppn_graph::{Budget, Constraints};
+use std::time::{Duration, Instant};
+
+fn best(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut b = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        b = b.min(t.elapsed().as_secs_f64());
+    }
+    b
+}
+
+fn main() {
+    let g = dense_community_graph(16, 2048, (2, 9), 12, 2, 8, 99);
+    let k = 16;
+    let rmax = (g.total_node_weight() as f64 / k as f64 * 1.25).ceil() as u64;
+    let cons = Constraints::new(rmax, g.total_edge_weight() / k as u64);
+    let params = GpParams::default();
+    let generous = Budget::unlimited().with_deadline(Duration::from_secs(3600));
+    let plain = best(3, || {
+        let _ = gp_partition(&g, k, &cons, &params);
+    });
+    let budgeted = best(3, || {
+        let _ = gp_partition_budgeted(&g, k, &cons, &params, &generous);
+    });
+    println!(
+        "plain {plain:.4}s  budgeted {budgeted:.4}s  overhead {:+.2}%",
+        (budgeted / plain - 1.0) * 100.0
+    );
+}

@@ -17,6 +17,12 @@
 //! [`REFERENCE_GATE_NODES`] the quadratic-ish references would dominate
 //! the run, so those sections are skipped (`null` in the JSON).
 //!
+//! Every scaling row also reruns end-to-end through
+//! `gp_partition_budgeted` under a 1-hour deadline no run ever hits:
+//! the recorded `budgeted.overhead_frac` is the pure cost of the
+//! cooperative budget checkpoints, asserted bit-identical here and
+//! bounded (<2% on the gated row) by `ci/perf_gate.py`.
+//!
 //! A second section compares the edge-cut and connectivity objectives
 //! on fan-out-heavy multicast networks: GP on the clique-lowered graph
 //! versus `ppn_hyper::hyper_partition` on the net-lowered hypergraph,
@@ -34,15 +40,15 @@ use gp_core::refine::RefineOptions;
 use gp_core::{
     constrained_refine, constrained_refine_csr, constrained_refine_parallel_csr,
     constrained_refine_reference, gp_coarsen_flat_observed, gp_coarsen_reference, gp_partition,
-    greedy_initial_partition, FlatHierarchy, GpParams, InitialOptions,
+    gp_partition_budgeted, greedy_initial_partition, FlatHierarchy, GpParams, InitialOptions,
 };
 use ppn_gen::{dense_community_graph, multicast_network, MulticastSpec};
 use ppn_graph::metrics::{edge_cut, PartitionQuality};
 use ppn_graph::prng::derive_seed;
-use ppn_graph::{Constraints, Partition, WeightedGraph};
+use ppn_graph::{Budget, Constraints, Partition, WeightedGraph};
 use ppn_hyper::{hyper_partition, HyperParams, HyperQuality};
 use ppn_model::{lower_to_graph, lower_to_hypergraph, LoweringOptions};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Above this node count the reference implementations (Lloyd-scan
 /// k-means, `find_edge` contraction, full-sweep refinement) are priced
@@ -293,11 +299,38 @@ fn measure(w: &Workload, reps: usize) -> serde_json::Value {
     let (refine_up_s, p_top) = time_best(reps, || {
         refine_up_flat(&hier, &p0, &w.cons, &params, seed, false)
     });
-    let (end_to_end_s, feasible) =
+    let (end_to_end_s, unbudgeted) =
         time_best(reps, || match gp_partition(&w.g, w.k, &w.cons, &params) {
-            Ok(r) => r.feasible,
-            Err(e) => e.best.feasible,
+            Ok(r) => r,
+            Err(e) => e.best,
         });
+    let feasible = unbudgeted.feasible;
+
+    // -- budgeted-but-unexpired overhead -------------------------------
+    //
+    // Same workload through `gp_partition_budgeted` under a deadline no
+    // run will ever hit: the extra cost is exactly the checkpoint reads
+    // at cycle/level/attempt boundaries, and the result must stay
+    // bit-identical to the unbudgeted run. The recorded overhead
+    // fraction is what the CI gate bounds (<2% on the gated row).
+    let generous = Budget::unlimited().with_deadline(Duration::from_secs(3600));
+    let (budgeted_s, budgeted) = time_best(reps, || {
+        match gp_partition_budgeted(&w.g, w.k, &w.cons, &params, &generous) {
+            Ok(r) => r,
+            Err(e) => e.best,
+        }
+    });
+    assert_eq!(
+        budgeted.partition, unbudgeted.partition,
+        "{}: a generous budget changed the partition",
+        w.name
+    );
+    assert!(
+        budgeted.degraded.is_none(),
+        "{}: a 1-hour deadline reported degradation",
+        w.name
+    );
+    let budget_overhead_frac = budgeted_s / end_to_end_s.max(1e-9) - 1.0;
 
     // -- refinement before/after (reference-gated) --------------------
     //
@@ -377,7 +410,7 @@ fn measure(w: &Workload, reps: usize) -> serde_json::Value {
     let edges_per_sec = edges as f64 / end_to_end_s.max(1e-9);
     let rss = peak_rss_bytes();
     println!(
-        "{:<18} n={:<7} coarsen {:>8.4}s  initial {:>8.4}s  refine-up {:>8.4}s  e2e {:>8.4}s  {:>10.0} edges/s  rss {:>6.1} MiB",
+        "{:<18} n={:<7} coarsen {:>8.4}s  initial {:>8.4}s  refine-up {:>8.4}s  e2e {:>8.4}s  {:>10.0} edges/s  rss {:>6.1} MiB  budget +{:>5.2}%",
         w.name,
         n,
         coarsen_s,
@@ -386,6 +419,7 @@ fn measure(w: &Workload, reps: usize) -> serde_json::Value {
         end_to_end_s,
         edges_per_sec,
         rss as f64 / (1024.0 * 1024.0),
+        budget_overhead_frac * 100.0,
     );
     if let Some(s) = coarsen_vs_reference.get("speedup").and_then(|v| v.as_f64()) {
         println!(
@@ -411,6 +445,13 @@ fn measure(w: &Workload, reps: usize) -> serde_json::Value {
         },
         "edges_per_sec": edges_per_sec,
         "peak_rss_bytes": rss,
+        "budgeted": {
+            "deadline_s": 3600.0,
+            "end_to_end_s": budgeted_s,
+            "overhead_frac": budget_overhead_frac,
+            "identical_partition": true,
+            "degraded": serde_json::Value::Null,
+        },
         "coarsen_levels": coarsen_levels,
         "coarsen_compare": coarsen_vs_reference,
         "hierarchy": hierarchy,
@@ -577,7 +618,7 @@ fn main() {
 
     let injected = apply_injection(&mut measured);
     let doc = serde_json::json!({
-        "schema": 4,
+        "schema": 5,
         "mode": if smoke { "smoke" } else { "full" },
         "threads": threads,
         "calibration_s": calibration_s,

@@ -17,17 +17,21 @@
 //! the only format that carries multicast structure; hypergraph-model
 //! backends on other formats see the degenerate 2-pin embedding.
 
-use ppn_backend::{backend_by_name, backend_names, backends, CostModel, PartitionInstance};
+use ppn_backend::{
+    backend_by_name, backend_names, backends, robust_partition, validate_instance, Budget,
+    Completion, CostModel, PartitionError, PartitionInstance,
+};
 use ppn_graph::io::dot::{to_dot, DotOptions};
 use ppn_graph::io::{json, matrix, metis};
 use ppn_graph::{Constraints, WeightedGraph};
 use ppn_hyper::Hypergraph;
 use ppn_model::{lower_to_graph, lower_to_hypergraph, LoweringOptions, ProcessNetwork};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  gp partition --input FILE --k K --rmax R --bmax B \\\n      [--format metis|matrix|json|ppn] [--backend {}] \\\n      [--model edge|hyper] [--seed N] [--baseline] [--dot FILE] [--out FILE]\n  gp backends\n  gp demo [1|2|3]\n  gp gen --nodes N --edges M [--seed S]\n  gp gen --multicast --stars S --fanout F [--seed N]",
+        "usage:\n  gp partition --input FILE --k K --rmax R --bmax B \\\n      [--format metis|matrix|json|ppn] [--backend {} or a,b,... fallback chain] \\\n      [--model edge|hyper] [--seed N] [--budget-ms N] [--baseline] [--dot FILE] [--out FILE]\n  gp backends\n  gp demo [1|2|3]\n  gp gen --nodes N --edges M [--seed S]\n  gp gen --multicast --stars S --fanout F [--seed N]",
         backend_names().join("|")
     );
     ExitCode::from(2)
@@ -89,7 +93,9 @@ fn cmd_partition(args: &[String]) -> ExitCode {
         return usage();
     }
     // backend resolution: explicit --backend wins; --baseline and
-    // --model hyper keep their historical meanings as defaults
+    // --model hyper keep their historical meanings as defaults. A
+    // comma-separated --backend list is a fallback chain served by
+    // robust_partition.
     let backend_name = match arg_value(args, "--backend") {
         Some(name) => {
             if has_flag(args, "--baseline") {
@@ -102,13 +108,27 @@ fn cmd_partition(args: &[String]) -> ExitCode {
         None if model == "hyper" => "hyper".to_string(),
         None => "gp".to_string(),
     };
-    let Some(backend) = backend_by_name(&backend_name) else {
-        eprintln!(
-            "error: unknown backend `{backend_name}` (available: {})",
-            backend_names().join(", ")
-        );
+    let chain: Vec<&str> = backend_name
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if chain.is_empty() {
+        eprintln!("error: --backend must name at least one backend");
         return usage();
-    };
+    }
+    let mut resolved = Vec::with_capacity(chain.len());
+    for name in &chain {
+        let Some(b) = backend_by_name(name) else {
+            eprintln!(
+                "error: unknown backend `{name}` (available: {})",
+                backend_names().join(", ")
+            );
+            return usage();
+        };
+        resolved.push(b);
+    }
+    let backend = &resolved[0];
     // an explicitly requested model must match the backend's cost
     // model — silently reporting edge-cut numbers for a `--model
     // hyper` request (or vice versa) would be worse than an error
@@ -118,18 +138,30 @@ fn cmd_partition(args: &[String]) -> ExitCode {
         } else {
             CostModel::EdgeCut
         };
-        if backend.cost_model() != wanted {
-            eprintln!(
-                "error: --model {model} needs a {wanted} backend, but `{}` reports {}",
-                backend.name(),
-                backend.cost_model()
-            );
-            return usage();
+        for b in &resolved {
+            if b.cost_model() != wanted {
+                eprintln!(
+                    "error: --model {model} needs a {wanted} backend, but `{}` reports {}",
+                    b.name(),
+                    b.cost_model()
+                );
+                return usage();
+            }
         }
     }
     let seed = arg_value(args, "--seed")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0xCA77Au64);
+    let budget = match arg_value(args, "--budget-ms") {
+        None => Budget::unlimited(),
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => Budget::unlimited().with_deadline(Duration::from_millis(ms)),
+            Err(_) => {
+                eprintln!("error: --budget-ms takes a whole number of milliseconds, got `{v}`");
+                return usage();
+            }
+        },
+    };
     let want_hyper = model == "hyper" || backend.cost_model() == CostModel::Connectivity;
     let loaded = match load_instance(&input, &format, want_hyper) {
         Ok(i) => i,
@@ -143,8 +175,56 @@ fn cmd_partition(args: &[String]) -> ExitCode {
     if let Some(hg) = loaded.hyper {
         inst = inst.with_hypergraph(hg);
     }
+    // reject malformed instances and provably impossible constraints
+    // with one line and a nonzero exit before any engine runs
+    if let Err(e) = validate_instance(&inst) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    if inst.graph.max_node_weight() > rmax {
+        let e = PartitionError::Infeasible {
+            instance: input.clone(),
+            reason: format!(
+                "heaviest node weighs {} but Rmax is {rmax}; no assignment can fit it",
+                inst.graph.max_node_weight()
+            ),
+        };
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
 
-    let outcome = backend.run(&inst, seed);
+    let outcome = if chain.len() > 1 {
+        match robust_partition(&inst, seed, &budget, &chain) {
+            Ok(r) => {
+                for a in r.attempts.iter().filter(|a| a.error.is_some()) {
+                    eprintln!(
+                        "warning: backend `{}` failed ({}), falling back",
+                        a.backend,
+                        a.error.as_ref().unwrap()
+                    );
+                }
+                if r.fell_back() {
+                    eprintln!("note: served by `{}`", r.served_by);
+                }
+                r.outcome
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match backend.partition(&inst, seed, &budget) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    if let Completion::Degraded { phase, reason } = &outcome.completion {
+        eprintln!("warning: budget cut the run short in {phase}: {reason}");
+    }
     if !outcome.feasible {
         eprintln!(
             "warning: backend {} did not meet the constraints: {}",

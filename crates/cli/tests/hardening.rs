@@ -1,0 +1,298 @@
+//! Robustness smoke tests of the `gp` binary: malformed input, bad
+//! flags, provably impossible constraints, budgets, and fallback
+//! chains all produce a nonzero exit and a one-line diagnostic — never
+//! a panic, never a silent success.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn gp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gp"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gp-hardening-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).to_string()
+}
+
+/// One `error:` line, no panic/backtrace leakage.
+fn assert_clean_failure(out: &Output, needle: &str) {
+    assert!(!out.status.success(), "expected nonzero exit");
+    let err = stderr_of(out);
+    assert!(err.contains(needle), "stderr missing `{needle}`: {err}");
+    assert!(!err.contains("panicked"), "panic leaked to stderr: {err}");
+    assert!(!err.contains("RUST_BACKTRACE"), "backtrace leaked: {err}");
+    let diag_lines = err.lines().filter(|l| l.starts_with("error:")).count();
+    assert_eq!(diag_lines, 1, "want exactly one error line: {err}");
+}
+
+fn write_graph(dir: &Path, nodes: &str, edges: &str, seed: &str) -> PathBuf {
+    let gen = gp()
+        .args(["gen", "--nodes", nodes, "--edges", edges, "--seed", seed])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    let path = dir.join("graph.metis");
+    std::fs::write(&path, &gen.stdout).unwrap();
+    path
+}
+
+#[test]
+fn truncated_metis_input_is_rejected() {
+    let dir = temp_dir("truncated");
+    let path = dir.join("bad.metis");
+    // header promises 4 nodes / 3 edges, body delivers one line
+    std::fs::write(&path, "4 3 011\n30 2 5\n").unwrap();
+    let run = gp()
+        .args([
+            "partition",
+            "--input",
+            path.to_str().unwrap(),
+            "--k",
+            "2",
+            "--rmax",
+            "1000",
+            "--bmax",
+            "1000",
+        ])
+        .output()
+        .unwrap();
+    assert_clean_failure(&run, "error:");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_file_is_one_line_error() {
+    let run = gp()
+        .args([
+            "partition",
+            "--input",
+            "/nonexistent/nowhere.metis",
+            "--k",
+            "2",
+            "--rmax",
+            "10",
+            "--bmax",
+            "10",
+        ])
+        .output()
+        .unwrap();
+    assert_clean_failure(&run, "error:");
+}
+
+#[test]
+fn unknown_backend_is_rejected_with_the_available_list() {
+    let dir = temp_dir("badbackend");
+    let path = write_graph(&dir, "8", "12", "1");
+    let run = gp()
+        .args([
+            "partition",
+            "--backend",
+            "frobnicate",
+            "--input",
+            path.to_str().unwrap(),
+            "--k",
+            "2",
+            "--rmax",
+            "1000",
+            "--bmax",
+            "1000",
+        ])
+        .output()
+        .unwrap();
+    assert!(!run.status.success());
+    let err = stderr_of(&run);
+    assert!(err.contains("unknown backend"), "{err}");
+    assert!(err.contains("gp"), "must list alternatives: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn provably_impossible_rmax_is_a_typed_infeasible_error() {
+    let dir = temp_dir("impossible");
+    let path = write_graph(&dir, "8", "12", "2");
+    // gen weights nodes in 20..60; Rmax 1 cannot fit any node
+    let run = gp()
+        .args([
+            "partition",
+            "--input",
+            path.to_str().unwrap(),
+            "--k",
+            "2",
+            "--rmax",
+            "1",
+            "--bmax",
+            "1000",
+        ])
+        .output()
+        .unwrap();
+    assert_clean_failure(&run, "infeasible instance");
+    assert!(stderr_of(&run).contains("Rmax"), "{}", stderr_of(&run));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn k_zero_and_k_beyond_n_are_invalid_instances() {
+    let dir = temp_dir("badk");
+    let path = write_graph(&dir, "6", "8", "3");
+    for (k, needle) in [("0", "k must be"), ("99", "exceeds")] {
+        let run = gp()
+            .args([
+                "partition",
+                "--input",
+                path.to_str().unwrap(),
+                "--k",
+                k,
+                "--rmax",
+                "1000",
+                "--bmax",
+                "1000",
+            ])
+            .output()
+            .unwrap();
+        assert_clean_failure(&run, needle);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn budget_ms_flag_is_validated_and_accepted() {
+    let dir = temp_dir("budget");
+    let path = write_graph(&dir, "24", "60", "4");
+    // malformed value → usage, nonzero
+    let run = gp()
+        .args([
+            "partition",
+            "--input",
+            path.to_str().unwrap(),
+            "--k",
+            "3",
+            "--rmax",
+            "100000",
+            "--bmax",
+            "100000",
+            "--budget-ms",
+            "soon",
+        ])
+        .output()
+        .unwrap();
+    assert!(!run.status.success());
+    assert!(
+        stderr_of(&run).contains("--budget-ms"),
+        "{}",
+        stderr_of(&run)
+    );
+    // a generous budget behaves exactly like no budget
+    let run = gp()
+        .args([
+            "partition",
+            "--input",
+            path.to_str().unwrap(),
+            "--k",
+            "3",
+            "--rmax",
+            "100000",
+            "--bmax",
+            "100000",
+            "--budget-ms",
+            "60000",
+        ])
+        .output()
+        .unwrap();
+    assert!(run.status.success(), "{}", stderr_of(&run));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn backend_chain_runs_and_reports_the_server() {
+    let dir = temp_dir("chain");
+    let path = write_graph(&dir, "16", "36", "5");
+    let run = gp()
+        .args([
+            "partition",
+            "--backend",
+            "gp,rb,metis",
+            "--input",
+            path.to_str().unwrap(),
+            "--k",
+            "4",
+            "--rmax",
+            "100000",
+            "--bmax",
+            "100000",
+        ])
+        .output()
+        .unwrap();
+    assert!(run.status.success(), "{}", stderr_of(&run));
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(
+        stdout.contains("backend=gp"),
+        "healthy chain serves gp: {stdout}"
+    );
+    // a chain containing an unknown name is a config error
+    let run = gp()
+        .args([
+            "partition",
+            "--backend",
+            "gp,nope",
+            "--input",
+            path.to_str().unwrap(),
+            "--k",
+            "2",
+            "--rmax",
+            "100000",
+            "--bmax",
+            "100000",
+        ])
+        .output()
+        .unwrap();
+    assert!(!run.status.success());
+    assert!(
+        stderr_of(&run).contains("unknown backend"),
+        "{}",
+        stderr_of(&run)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_gp_panic_falls_back_to_rb() {
+    let dir = temp_dir("faultchain");
+    let path = write_graph(&dir, "16", "36", "6");
+    let run = gp()
+        .env("FAULT_INJECT", "gp:refine:panic")
+        .args([
+            "partition",
+            "--backend",
+            "gp,rb,metis",
+            "--input",
+            path.to_str().unwrap(),
+            "--k",
+            "4",
+            "--rmax",
+            "100000",
+            "--bmax",
+            "100000",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        run.status.success(),
+        "fallback chain must survive an injected gp panic: {}",
+        stderr_of(&run)
+    );
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    let stderr = stderr_of(&run);
+    assert!(stdout.contains("backend=rb"), "rb must serve: {stdout}");
+    assert!(
+        stderr.contains("panicked"),
+        "the gp failure is reported: {stderr}"
+    );
+    assert!(stderr.contains("served by `rb`"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -43,6 +43,7 @@ use gp_classic::matching::{
     shuffled_sorted_edges,
 };
 use ppn_graph::arena::{LevelArena, LevelView};
+use ppn_graph::budget::Budget;
 use ppn_graph::contract::{contract_reference, contract_with, CoarseMap, ContractScratch};
 use ppn_graph::matching::{random_maximal_matching, Matching};
 use ppn_graph::prng::derive_seed;
@@ -494,13 +495,57 @@ pub fn gp_coarsen_flat_observed(
     seed: u64,
     observe: &mut dyn FnMut(&LevelTiming),
 ) -> FlatHierarchy {
+    gp_coarsen_flat_budgeted_observed(g, kinds, coarsen_to, seed, &Budget::unlimited(), observe).0
+}
+
+/// [`gp_coarsen_flat`] under a [`Budget`]: the budget is consulted only
+/// at level boundaries (a level's matching tournament and contraction
+/// run uninterrupted), and a level is started only when the remaining
+/// wall-clock can plausibly fit it ([`Budget::admits_work`] over the
+/// level's edge count). Returns the hierarchy built so far plus the
+/// truncation reason when the budget stopped coarsening early — `None`
+/// means the hierarchy is exactly what the unbudgeted twin produces.
+pub fn gp_coarsen_flat_budgeted(
+    g: &WeightedGraph,
+    kinds: &[MatchingKind],
+    coarsen_to: usize,
+    seed: u64,
+    budget: &Budget,
+) -> (FlatHierarchy, Option<String>) {
+    gp_coarsen_flat_budgeted_observed(g, kinds, coarsen_to, seed, budget, &mut |_| {})
+}
+
+/// [`gp_coarsen_flat_budgeted`] with the per-level observer.
+pub fn gp_coarsen_flat_budgeted_observed(
+    g: &WeightedGraph,
+    kinds: &[MatchingKind],
+    coarsen_to: usize,
+    seed: u64,
+    budget: &Budget,
+    observe: &mut dyn FnMut(&LevelTiming),
+) -> (FlatHierarchy, Option<String>) {
     let mut arena = LevelArena::from_graph(g);
     let mut winners = Vec::new();
     let mut match_scratch = MatchScratch::new();
     let mut round = 0u64;
+    let mut cut_short: Option<String> = None;
     while arena.top().num_nodes() > coarsen_to {
         let top = arena.num_levels() - 1;
         let (fine_nodes, fine_edges) = (arena.level_nodes(top), arena.level_edges(top));
+        if !budget.allows_coarsen_level(round as usize) {
+            cut_short = Some(format!("coarsen level cap reached at level {round}"));
+            break;
+        }
+        if budget.expired() {
+            cut_short = Some(format!("deadline expired before coarsen level {round}"));
+            break;
+        }
+        if !budget.admits_work(fine_edges as u64) {
+            cut_short = Some(format!(
+                "remaining budget cannot fit a matching level over {fine_edges} edges"
+            ));
+            break;
+        }
         let t0 = std::time::Instant::now();
         let (kind, m, heuristics) = {
             let view = arena.top();
@@ -532,7 +577,7 @@ pub fn gp_coarsen_flat_observed(
         winners.push(kind);
         round += 1;
     }
-    FlatHierarchy { arena, winners }
+    (FlatHierarchy { arena, winners }, cut_short)
 }
 
 #[cfg(test)]

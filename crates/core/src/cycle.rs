@@ -12,11 +12,13 @@
 //! to `max_cycles` times before reporting the paper's
 //! impossible-or-more-time message.
 
-use crate::coarsen::{gp_coarsen_flat, FlatHierarchy};
+use crate::coarsen::{gp_coarsen_flat_budgeted, FlatHierarchy};
 use crate::initial::{greedy_initial_partition, InitialOptions};
 use crate::params::GpParams;
 use crate::refine::{constrained_refine_csr, constrained_refine_parallel_csr, RefineOptions};
 use crate::report::{CycleTrace, GpInfeasible, GpResult, PhaseSeconds};
+use ppn_graph::budget::{Budget, Degradation};
+use ppn_graph::faultpoint::fault_point;
 use ppn_graph::metrics::PartitionQuality;
 use ppn_graph::prng::derive_seed;
 use ppn_graph::{Constraints, Partition, WeightedGraph};
@@ -30,6 +32,12 @@ use std::time::Instant;
 /// materialised. Levels at or above
 /// [`parallel_refine_min_nodes`](GpParams::parallel_refine_min_nodes)
 /// take the parallel frozen-evaluation sweep.
+///
+/// The budget is consulted once per level: when it expires (or the
+/// remaining wall-clock cannot fit the level's edge count) the loop
+/// keeps projecting up — an O(n) must-finish step, or the partition
+/// would live on the wrong graph — but skips the refinement sweeps.
+#[allow(clippy::too_many_arguments)]
 fn refine_up(
     hier: &FlatHierarchy,
     range: std::ops::Range<usize>,
@@ -37,12 +45,25 @@ fn refine_up(
     c: &Constraints,
     params: &GpParams,
     stream: u64,
+    budget: &Budget,
+    degraded: &mut Option<Degradation>,
 ) -> Partition {
     for i in range.rev() {
         p = p.project(hier.map(i));
         let level = hier.level(i).csr_view();
+        if !budget.is_unlimited()
+            && (budget.expired() || !budget.admits_work(level.num_edges() as u64))
+        {
+            degraded.get_or_insert_with(|| {
+                Degradation::new(
+                    "refine",
+                    format!("deadline expired; projecting level {i} without refinement"),
+                )
+            });
+            continue;
+        }
         let opts = RefineOptions {
-            max_passes: params.refine_passes,
+            max_passes: budget.clamp_refine_passes(params.refine_passes),
             seed: derive_seed(params.seed, stream ^ (i as u64) << 8),
             protect_nonempty: true,
         };
@@ -63,6 +84,22 @@ pub fn gp_partition(
     c: &Constraints,
     params: &GpParams,
 ) -> Result<GpResult, Box<GpInfeasible>> {
+    gp_partition_budgeted(g, k, c, params, &Budget::unlimited())
+}
+
+/// [`gp_partition`] under a cooperative [`Budget`]. Checks happen only
+/// at cycle/level/attempt boundaries, so with `Budget::unlimited()` the
+/// run is bit-identical to the unbudgeted entry point. On deadline
+/// expiry the engine returns its best partition so far — always complete
+/// and always projected to the finest graph — and records what was cut
+/// short in [`GpResult::degraded`].
+pub fn gp_partition_budgeted(
+    g: &WeightedGraph,
+    k: usize,
+    c: &Constraints,
+    params: &GpParams,
+    budget: &Budget,
+) -> Result<GpResult, Box<GpInfeasible>> {
     assert!(k >= 1, "k must be at least 1");
     assert!(g.num_nodes() > 0, "cannot partition an empty graph");
 
@@ -70,30 +107,101 @@ pub fn gp_partition(
     let mut trace: Vec<CycleTrace> = Vec::new();
     let mut cycles_used = 0;
     let mut phases = PhaseSeconds::default();
+    let mut degraded: Option<Degradation> = None;
     let matchings = params.effective_matchings();
 
     'cycles: for cycle in 0..params.max_cycles.max(1) {
+        if cycle > 0 && budget.expired() {
+            degraded.get_or_insert_with(|| {
+                Degradation::new("cycle", format!("deadline expired after {cycle} cycle(s)"))
+            });
+            break;
+        }
         cycles_used = cycle + 1;
         let cycle_seed = derive_seed(params.seed, 0xC1C + cycle as u64);
+
+        // When the budget cannot plausibly fit even one matching level,
+        // skip building the level arena too (an O(V + E) copy of the
+        // input): the truncated hierarchy's coarsest level would be the
+        // input graph itself, so the contiguous fallback below lands on
+        // the same partition either way.
+        if !budget.is_unlimited() && (budget.expired() || !budget.admits_work(g.num_edges() as u64))
+        {
+            degraded.get_or_insert_with(|| {
+                Degradation::new(
+                    "coarsen",
+                    "deadline expired; contiguous fallback on the input graph",
+                )
+            });
+            let p = Partition::contiguous_balanced(g.node_weights(), k);
+            let goodness = PartitionQuality::measure(g, &p).goodness_key(c.rmax, c.bmax);
+            if best.as_ref().map(|(bg, _)| goodness < *bg).unwrap_or(true) {
+                best = Some((goodness, p));
+            }
+            break 'cycles;
+        }
 
         // hierarchy for this cycle ("go back to coarsening phase …
         // randomly, cyclically") — built in the flat level arena; the
         // Cow-based gp_coarsen survives as the property-test oracle
+        fault_point("gp", "coarsen");
         let t0 = Instant::now();
-        let hier = gp_coarsen_flat(g, &matchings, params.coarsen_to, cycle_seed);
+        let (hier, coarsen_cut_short) =
+            gp_coarsen_flat_budgeted(g, &matchings, params.coarsen_to, cycle_seed, budget);
         phases.coarsen_s += t0.elapsed().as_secs_f64();
+        if let Some(reason) = coarsen_cut_short {
+            degraded.get_or_insert_with(|| Degradation::new("coarsen", reason));
+        }
         let levels = hier.depth() - 1;
         let mid = levels / 2;
         let sizes = hier.size_trace();
         let level_winners = hier.winners.clone();
+
+        // When the budget is already spent — a truncated hierarchy can
+        // leave a coarsest level of any size — skip the greedy initial
+        // search entirely: take the O(n) contiguous fallback on the
+        // coarsest level and project it to the top without refinement.
+        // This bounds the post-expiry tail to validation + O(n) work.
+        let coarsest_view = hier.level(levels).csr_view();
+        let coarsest_work = (coarsest_view.num_edges() as u64)
+            .saturating_mul(params.initial_restarts.max(1) as u64);
+        if !budget.is_unlimited() && (budget.expired() || !budget.admits_work(coarsest_work)) {
+            degraded.get_or_insert_with(|| {
+                Degradation::new(
+                    "initial",
+                    "deadline expired; contiguous fallback on the coarsest level",
+                )
+            });
+            let mut p = Partition::contiguous_balanced(coarsest_view.vwgt, k);
+            for i in (0..levels).rev() {
+                p = p.project(hier.map(i));
+            }
+            let goodness = PartitionQuality::measure(g, &p).goodness_key(c.rmax, c.bmax);
+            let is_better = best.as_ref().map(|(bg, _)| goodness < *bg).unwrap_or(true);
+            if is_better {
+                best = Some((goodness, p));
+            }
+            break 'cycles;
+        }
+
         // the coarsest graph is tiny (~coarsen_to nodes); materialise it
         // once per cycle for the initial partitioner
         let coarsest = hier.coarsest_graph();
 
         // generate intermediate clustering candidates
+        fault_point("gp", "initial");
         let attempts = params.intermediate_attempts.max(1);
         let mut candidates: Vec<((u64, u64, u64), Partition)> = Vec::with_capacity(attempts);
         for attempt in 0..attempts {
+            if attempt > 0 && budget.expired() {
+                degraded.get_or_insert_with(|| {
+                    Degradation::new(
+                        "initial",
+                        format!("deadline expired after {attempt} intermediate attempt(s)"),
+                    )
+                });
+                break;
+            }
             let attempt_seed = derive_seed(cycle_seed, attempt as u64);
             let t0 = Instant::now();
             let p0 = greedy_initial_partition(
@@ -110,7 +218,16 @@ pub fn gp_partition(
             phases.initial_s += t0.elapsed().as_secs_f64();
             // refine from the coarsest up to the intermediate level
             let t0 = Instant::now();
-            let p_mid = refine_up(&hier, mid..levels, p0, c, params, attempt_seed);
+            let p_mid = refine_up(
+                &hier,
+                mid..levels,
+                p0,
+                c,
+                params,
+                attempt_seed,
+                budget,
+                &mut degraded,
+            );
             phases.refine_s += t0.elapsed().as_secs_f64();
             // level `mid` exists for every mid <= levels (level `levels`
             // is the coarsest); measure it straight off the arena slice
@@ -129,17 +246,19 @@ pub fn gp_partition(
         }
 
         // a-posteriori selection of the best intermediate clustering
+        // (attempt 0 always runs, so `candidates` is never empty)
         let winner_idx = candidates
             .iter()
             .enumerate()
             .min_by_key(|(i, (good, _))| (*good, *i))
             .map(|(i, _)| i)
             .expect("at least one attempt");
-        let trace_base = trace.len() - attempts;
+        let trace_base = trace.len() - candidates.len();
         trace[trace_base + winner_idx].selected = true;
         let (_, p_mid) = candidates.swap_remove(winner_idx);
 
         // continue the winner to the top
+        fault_point("gp", "refine");
         let t0 = Instant::now();
         let p_top = refine_up(
             &hier,
@@ -148,6 +267,8 @@ pub fn gp_partition(
             c,
             params,
             derive_seed(cycle_seed, 0x70),
+            budget,
+            &mut degraded,
         );
         phases.refine_s += t0.elapsed().as_secs_f64();
         let quality = PartitionQuality::measure(g, &p_top);
@@ -178,6 +299,7 @@ pub fn gp_partition(
         cycles_used,
         trace,
         phases,
+        degraded,
     };
     if feasible {
         Ok(result)
@@ -292,6 +414,53 @@ mod tests {
         for t in &r.trace {
             assert_eq!(t.hierarchy_sizes.len(), 1);
         }
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical() {
+        let g = four_triads();
+        let c = Constraints::new(150, 20);
+        let plain = gp_partition(&g, 4, &c, &GpParams::default()).expect("feasible");
+        let budgeted = gp_partition_budgeted(&g, 4, &c, &GpParams::default(), &Budget::unlimited())
+            .expect("feasible");
+        assert_eq!(plain.partition, budgeted.partition);
+        assert!(budgeted.degraded.is_none());
+    }
+
+    #[test]
+    fn expired_deadline_degrades_but_returns_a_complete_partition() {
+        let g = four_triads();
+        let c = Constraints::new(150, 20);
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let r = match gp_partition_budgeted(&g, 4, &c, &GpParams::default(), &budget) {
+            Ok(r) => r,
+            Err(e) => e.best,
+        };
+        assert!(r.partition.is_complete());
+        assert_eq!(r.partition.k(), 4);
+        let d = r.degraded.expect("a zero deadline must cut the run short");
+        assert!(!d.phase.is_empty());
+    }
+
+    #[test]
+    fn coarsen_level_cap_degrades_deterministically() {
+        // 240 nodes coarsen through several levels; cap at one
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..240).map(|_| g.add_node(4)).collect();
+        for i in 0..240 {
+            g.add_edge(n[i], n[(i + 1) % 240], 3).unwrap();
+        }
+        let c = Constraints::new(500, 1_000);
+        let budget = Budget::unlimited().with_max_coarsen_levels(1);
+        let a = gp_partition_budgeted(&g, 4, &c, &GpParams::default(), &budget);
+        let b = gp_partition_budgeted(&g, 4, &c, &GpParams::default(), &budget);
+        let (a, b) = (a.unwrap_or_else(|e| e.best), b.unwrap_or_else(|e| e.best));
+        assert_eq!(
+            a.partition, b.partition,
+            "structural caps stay deterministic"
+        );
+        let d = a.degraded.expect("level cap must be reported");
+        assert_eq!(d.phase, "coarsen");
     }
 
     #[test]

@@ -49,11 +49,12 @@ pub mod refine_reference;
 pub mod report;
 
 pub use coarsen::{
-    best_matching, best_matching_in, gp_coarsen, gp_coarsen_flat, gp_coarsen_flat_observed,
-    gp_coarsen_observed, gp_coarsen_owned, gp_coarsen_reference, CoarsenBackend, FlatHierarchy,
-    GpHierarchy, GpLevel, HeuristicTiming, LevelTiming, MatchScratch,
+    best_matching, best_matching_in, gp_coarsen, gp_coarsen_flat, gp_coarsen_flat_budgeted,
+    gp_coarsen_flat_budgeted_observed, gp_coarsen_flat_observed, gp_coarsen_observed,
+    gp_coarsen_owned, gp_coarsen_reference, CoarsenBackend, FlatHierarchy, GpHierarchy, GpLevel,
+    HeuristicTiming, LevelTiming, MatchScratch,
 };
-pub use cycle::gp_partition;
+pub use cycle::{gp_partition, gp_partition_budgeted};
 pub use initial::{greedy_initial_partition, InitialOptions};
 pub use kmeans::kmeans_matching;
 pub use params::{GpParams, MatchingKind};

@@ -2,7 +2,7 @@
 
 use crate::params::MatchingKind;
 use ppn_graph::metrics::PartitionQuality;
-use ppn_graph::{ConstraintReport, Partition};
+use ppn_graph::{ConstraintReport, Degradation, Partition};
 use serde::{Deserialize, Serialize};
 
 /// Trace of one intermediate-clustering attempt inside one V-cycle —
@@ -67,6 +67,10 @@ pub struct GpResult {
     /// Wall-clock seconds per phase, summed over all cycles.
     #[serde(default)]
     pub phases: PhaseSeconds,
+    /// Set when a [`Budget`](ppn_graph::Budget) cut the run short and
+    /// the partition is best-so-far rather than fully converged.
+    #[serde(default)]
+    pub degraded: Option<Degradation>,
 }
 
 /// The partitioner exhausted its cycle budget without meeting the
@@ -122,6 +126,7 @@ mod tests {
             cycles_used: 3,
             trace: vec![],
             phases: PhaseSeconds::default(),
+            degraded: None,
         }
     }
 

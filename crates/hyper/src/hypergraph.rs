@@ -262,8 +262,57 @@ impl Hypergraph {
 
     /// Structural validation: offsets monotone, pins in range and
     /// distinct per net, dual consistent with the pin lists.
+    ///
+    /// Raw CSR invariants come first — everything after them slices
+    /// with these offsets, so a deserialized `Hypergraph` with
+    /// truncated arrays or corrupt offsets must be rejected here rather
+    /// than panicking inside [`pins`](Self::pins) /
+    /// [`nets_of`](Self::nets_of).
     pub fn validate(&self) -> Result<(), String> {
         let n = self.num_nodes();
+        if self.net_off.len() != self.net_wgt.len() + 1 {
+            return Err(format!(
+                "net_off has {} entries for {} nets (want nets + 1)",
+                self.net_off.len(),
+                self.net_wgt.len()
+            ));
+        }
+        if self.node_off.len() != n + 1 {
+            return Err(format!(
+                "node_off has {} entries for {n} nodes (want nodes + 1)",
+                self.node_off.len()
+            ));
+        }
+        if self.net_off[0] != 0 || self.node_off[0] != 0 {
+            return Err("offset arrays must start at 0".to_string());
+        }
+        if self.net_off.windows(2).any(|w| w[0] > w[1]) {
+            return Err("net_off is not monotone".to_string());
+        }
+        if self.node_off.windows(2).any(|w| w[0] > w[1]) {
+            return Err("node_off is not monotone".to_string());
+        }
+        if *self.net_off.last().unwrap() != self.pins.len() {
+            return Err(format!(
+                "net_off ends at {} but there are {} pins (truncated input?)",
+                self.net_off.last().unwrap(),
+                self.pins.len()
+            ));
+        }
+        if *self.node_off.last().unwrap() != self.node_nets.len() {
+            return Err(format!(
+                "node_off ends at {} but the dual has {} entries (truncated input?)",
+                self.node_off.last().unwrap(),
+                self.node_nets.len()
+            ));
+        }
+        if let Some(&bad) = self
+            .node_nets
+            .iter()
+            .find(|&&e| e as usize >= self.net_wgt.len())
+        {
+            return Err(format!("dual references net {bad} which does not exist"));
+        }
         for e in self.net_ids() {
             let ps = self.pins(e);
             if ps.is_empty() {
@@ -324,6 +373,40 @@ mod tests {
         assert_eq!(h.total_node_weight(), 100);
         assert_eq!(h.total_net_weight(), 11);
         assert_eq!(h.max_node_weight(), 40);
+    }
+
+    #[test]
+    fn corrupt_csr_is_rejected_not_panicking() {
+        let good = small();
+        // Each mutation mirrors a malformed/truncated serde payload; all
+        // must produce an Err, never an out-of-bounds slice.
+        let mut truncated_pins = good.clone();
+        truncated_pins.pins.pop();
+        assert!(truncated_pins.validate().unwrap_err().contains("truncated"));
+
+        let mut bad_start = good.clone();
+        bad_start.net_off[0] = 1;
+        assert!(bad_start.validate().is_err());
+
+        let mut non_monotone = good.clone();
+        non_monotone.net_off[1] = 5;
+        non_monotone.net_off[2] = 3;
+        assert!(non_monotone.validate().is_err());
+
+        let mut short_offsets = good.clone();
+        short_offsets.net_off.pop();
+        assert!(short_offsets.validate().unwrap_err().contains("net_off"));
+
+        let mut truncated_dual = good.clone();
+        truncated_dual.node_nets.pop();
+        assert!(truncated_dual.validate().is_err());
+
+        let mut phantom_net = good.clone();
+        phantom_net.node_nets[0] = 99;
+        assert!(phantom_net
+            .validate()
+            .unwrap_err()
+            .contains("does not exist"));
     }
 
     #[test]

@@ -46,5 +46,7 @@ pub use connectivity::{BandwidthMatrix, NetConnectivity};
 pub use hypergraph::{Hypergraph, HypergraphBuilder, NetId};
 pub use initial::{greedy_hyper_initial, HyperInitialOptions};
 pub use metrics::{is_feasible, part_weights, HyperQuality};
-pub use multilevel::{hyper_partition, HyperInfeasible, HyperParams, HyperResult};
+pub use multilevel::{
+    hyper_partition, hyper_partition_budgeted, HyperInfeasible, HyperParams, HyperResult,
+};
 pub use refine::{hyper_refine, HyperRefineOptions};

@@ -13,8 +13,9 @@ use crate::hypergraph::Hypergraph;
 use crate::initial::{greedy_hyper_initial, HyperInitialOptions};
 use crate::metrics::HyperQuality;
 use crate::refine::{hyper_refine, HyperRefineOptions};
+use ppn_graph::faultpoint::fault_point;
 use ppn_graph::prng::derive_seed;
-use ppn_graph::{ConstraintReport, Constraints, Partition};
+use ppn_graph::{Budget, ConstraintReport, Constraints, Degradation, Partition};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of [`hyper_partition`], defaults matching `GpParams`.
@@ -66,6 +67,9 @@ pub struct HyperResult {
     pub feasible: bool,
     /// Cycles actually run.
     pub cycles_used: usize,
+    /// Set when a [`Budget`] cut the run short and the partition is
+    /// best-so-far rather than fully converged.
+    pub degraded: Option<Degradation>,
 }
 
 /// The constraints could not be met within the cycle budget; carries the
@@ -94,15 +98,30 @@ fn refine_up(
     c: &Constraints,
     params: &HyperParams,
     stream: u64,
+    budget: &Budget,
+    degraded: &mut Option<Degradation>,
 ) -> Partition {
     for (i, level) in hier.levels.iter().enumerate().rev() {
         p = p.project(&level.map);
+        // Projection must continue to the finest hypergraph even after
+        // the deadline — only the (optional) refinement work is skipped.
+        if !budget.is_unlimited()
+            && (budget.expired() || !budget.admits_work(level.fine.num_pins() as u64))
+        {
+            degraded.get_or_insert_with(|| {
+                Degradation::new(
+                    "refine",
+                    format!("deadline expired; projected level {i} without refinement"),
+                )
+            });
+            continue;
+        }
         hyper_refine(
             &level.fine,
             &mut p,
             c,
             &HyperRefineOptions {
-                max_passes: params.refine_passes,
+                max_passes: budget.clamp_refine_passes(params.refine_passes),
                 seed: derive_seed(params.seed, stream ^ (i as u64) << 8),
                 protect_nonempty: true,
             },
@@ -120,15 +139,61 @@ pub fn hyper_partition(
     c: &Constraints,
     params: &HyperParams,
 ) -> Result<HyperResult, Box<HyperInfeasible>> {
+    hyper_partition_budgeted(hg, k, c, params, &Budget::unlimited())
+}
+
+/// [`hyper_partition`] under a cooperative [`Budget`]: checks at cycle
+/// and level boundaries, returns best-so-far (marked `degraded`) once
+/// the deadline passes. An unlimited budget is bit-identical to
+/// [`hyper_partition`].
+pub fn hyper_partition_budgeted(
+    hg: &Hypergraph,
+    k: usize,
+    c: &Constraints,
+    params: &HyperParams,
+    budget: &Budget,
+) -> Result<HyperResult, Box<HyperInfeasible>> {
     assert!(k >= 1, "k must be at least 1");
     assert!(hg.num_nodes() > 0, "cannot partition an empty hypergraph");
 
     let mut best: Option<((u64, u64, u64), Partition)> = None;
     let mut cycles_used = 0;
+    let mut degraded: Option<Degradation> = None;
     for cycle in 0..params.max_cycles.max(1) {
+        if cycle > 0 && !budget.is_unlimited() && budget.expired() {
+            degraded.get_or_insert_with(|| {
+                Degradation::new("cycle", format!("deadline expired after {cycle} cycle(s)"))
+            });
+            break;
+        }
         cycles_used = cycle + 1;
         let cycle_seed = derive_seed(params.seed, 0x4C1C + cycle as u64);
+
+        // A coarsen + initial round over this hypergraph is at least
+        // pin-linear; with nothing banked yet fall back to a contiguous
+        // fill rather than blowing through the deadline.
+        if best.is_none()
+            && !budget.is_unlimited()
+            && (budget.expired() || !budget.admits_work(hg.num_pins() as u64))
+        {
+            degraded.get_or_insert_with(|| {
+                Degradation::new(
+                    "initial",
+                    format!(
+                        "deadline expired; contiguous fill over {} nodes",
+                        hg.num_nodes()
+                    ),
+                )
+            });
+            let p = Partition::contiguous_balanced(hg.node_weights(), k);
+            let goodness = HyperQuality::measure(hg, &p).goodness_key(c.rmax, c.bmax);
+            best = Some((goodness, p));
+            break;
+        }
+
+        fault_point("hyper", "coarsen");
         let hier = hyper_coarsen(hg, params.coarsen_to, cycle_seed);
+        fault_point("hyper", "initial");
         let p0 = greedy_hyper_initial(
             hier.coarsest(),
             k,
@@ -139,7 +204,16 @@ pub fn hyper_partition(
                 seed: cycle_seed,
             },
         );
-        let p_top = refine_up(&hier, p0, c, params, derive_seed(cycle_seed, 0x70));
+        fault_point("hyper", "refine");
+        let p_top = refine_up(
+            &hier,
+            p0,
+            c,
+            params,
+            derive_seed(cycle_seed, 0x70),
+            budget,
+            &mut degraded,
+        );
         let goodness = HyperQuality::measure(hg, &p_top).goodness_key(c.rmax, c.bmax);
         let is_better = best.as_ref().map(|(bg, _)| goodness < *bg).unwrap_or(true);
         if is_better {
@@ -160,6 +234,7 @@ pub fn hyper_partition(
         report,
         feasible,
         cycles_used,
+        degraded,
     };
     if feasible {
         Ok(result)
@@ -231,6 +306,35 @@ mod tests {
         let c = Constraints::new(500, 500);
         let r = hyper_partition(&hg, 2, &c, &HyperParams::default()).unwrap();
         assert_eq!(r.cycles_used, 1);
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical() {
+        let hg = four_stars();
+        let c = Constraints::new(90, 15);
+        let plain = hyper_partition(&hg, 4, &c, &HyperParams::default()).unwrap();
+        let budgeted =
+            hyper_partition_budgeted(&hg, 4, &c, &HyperParams::default(), &Budget::unlimited())
+                .unwrap();
+        assert_eq!(plain.partition, budgeted.partition);
+        assert!(budgeted.degraded.is_none());
+    }
+
+    #[test]
+    fn expired_deadline_degrades_but_stays_complete() {
+        let hg = four_stars();
+        let c = Constraints::new(90, 15);
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let r = match hyper_partition_budgeted(&hg, 4, &c, &HyperParams::default(), &budget) {
+            Ok(r) => r,
+            Err(e) => e.best.clone(),
+        };
+        assert!(r.partition.is_complete());
+        assert_eq!(r.partition.k(), 4);
+        let d = r
+            .degraded
+            .expect("zero deadline must mark the outcome degraded");
+        assert_eq!(d.phase, "initial");
     }
 
     #[test]

@@ -39,7 +39,7 @@ use ppn_graph::{Partition, WeightedGraph};
 
 pub use coarsen::{coarsen_hierarchy, Hierarchy, Level};
 pub use options::MetisOptions;
-pub use rb::{rb_partition, RbInfeasible, RbParams, RbResult};
+pub use rb::{rb_partition, rb_partition_budgeted, RbInfeasible, RbParams, RbResult};
 
 /// Result of a `metis-lite` run.
 #[derive(Clone, Debug)]
@@ -78,6 +78,7 @@ pub fn kway_partition(g: &WeightedGraph, k: usize, opts: &MetisOptions) -> KwayR
     }
 
     // 1. coarsen
+    ppn_graph::faultpoint::fault_point("metis", "kway");
     let hierarchy = coarsen_hierarchy(g, opts.coarsen_to.max(2 * k), opts.seed);
     let coarsest = hierarchy.coarsest();
 

@@ -33,6 +33,8 @@ use gp_core::initial::{greedy_initial_partition, InitialOptions};
 use gp_core::params::MatchingKind;
 use gp_core::refine::{constrained_refine, RefineOptions};
 use gp_core::{gp_coarsen, PhaseSeconds};
+use ppn_graph::budget::{Budget, Degradation};
+use ppn_graph::faultpoint::fault_point;
 use ppn_graph::metrics::{CutMatrix, PartitionQuality};
 use ppn_graph::prng::derive_seed;
 use ppn_graph::{ConstraintReport, Constraints, NodeId, Partition, WeightedGraph};
@@ -111,6 +113,9 @@ pub struct RbResult {
     /// Wall-clock seconds per phase, summed over all subproblems and
     /// cycles (`initial_s` holds the bisection time).
     pub phases: PhaseSeconds,
+    /// Set when a [`Budget`] cut the run short and the partition is
+    /// best-so-far rather than fully explored.
+    pub degraded: Option<Degradation>,
 }
 
 /// The cycle budget ran out with constraints still violated; carries the
@@ -229,6 +234,8 @@ fn rb_recurse(
     out: &mut Partition,
     phases: &mut PhaseSeconds,
     budget: &mut usize,
+    time_budget: &Budget,
+    degraded: &mut Option<Degradation>,
 ) {
     if k == 1 || nodes.len() <= 1 {
         for &v in nodes {
@@ -236,11 +243,35 @@ fn rb_recurse(
         }
         return; // parts beyond the first stay empty when k > |nodes|
     }
+    // Deadline check at subproblem entry: an expired budget fills the
+    // remaining subtree with the O(n) contiguous split instead of
+    // bisecting it — complete and weight-balanced, no claim on the cut.
+    if !time_budget.is_unlimited()
+        && (time_budget.expired() || !time_budget.admits_work(nodes.len() as u64))
+    {
+        degraded.get_or_insert_with(|| {
+            Degradation::new(
+                "bisect",
+                format!(
+                    "deadline expired; contiguous fill over {} nodes",
+                    nodes.len()
+                ),
+            )
+        });
+        let weights: Vec<u64> = nodes.iter().map(|&v| g.node_weight(v)).collect();
+        let fill = Partition::contiguous_balanced(&weights, k);
+        for (i, &v) in nodes.iter().enumerate() {
+            out.assign(v, part_base + fill.part_of(NodeId::from_index(i)));
+        }
+        return;
+    }
+    fault_point("rb", "bisect");
     let (sub, back) = induced_subgraph(g, nodes);
     let sub_seed = derive_seed(seed, part_base as u64 ^ (k as u64) << 20);
 
     // multilevel: coarsen the subproblem once (the hierarchy is
     // shape-independent), bisect the coarsest graph
+    fault_point("rb", "coarsen");
     let t0 = Instant::now();
     let hier = gp_coarsen(&sub, &params.matchings, params.coarsen_to.max(4), sub_seed);
     phases.coarsen_s += t0.elapsed().as_secs_f64();
@@ -331,9 +362,19 @@ fn rb_recurse(
 
             for (p0, skip_fm) in candidates {
                 // the leading candidate of a split is free; alternatives
-                // draw from the per-cycle backtracking budget
+                // draw from the per-cycle backtracking budget — and stop
+                // when the wall-clock budget expires mid-exploration
                 if best.is_some() {
                     if *budget == 0 {
+                        break 'shapes;
+                    }
+                    if time_budget.expired() {
+                        degraded.get_or_insert_with(|| {
+                            Degradation::new(
+                                "bisect",
+                                "deadline expired while exploring alternative candidates",
+                            )
+                        });
                         break 'shapes;
                     }
                     *budget -= 1;
@@ -368,7 +409,18 @@ fn rb_recurse(
                     }
                 }
                 rb_recurse(
-                    g, &side0, k0, part_base, c, params, seed, out, phases, budget,
+                    g,
+                    &side0,
+                    k0,
+                    part_base,
+                    c,
+                    params,
+                    seed,
+                    out,
+                    phases,
+                    budget,
+                    time_budget,
+                    degraded,
                 );
                 rb_recurse(
                     g,
@@ -381,6 +433,8 @@ fn rb_recurse(
                     out,
                     phases,
                     budget,
+                    time_budget,
+                    degraded,
                 );
 
                 // exact subtree score: the completed subtree's Rmax/Bmax
@@ -417,6 +471,22 @@ pub fn rb_partition(
     c: &Constraints,
     params: &RbParams,
 ) -> Result<RbResult, Box<RbInfeasible>> {
+    rb_partition_budgeted(g, k, c, params, &Budget::unlimited())
+}
+
+/// [`rb_partition`] under a cooperative [`Budget`]. Deadline checks
+/// bound the best-first candidate exploration (at subproblem entry and
+/// before each alternative candidate); on expiry the remaining subtree
+/// is filled with a contiguous balanced split and the result carries a
+/// [`Degradation`] record. `Budget::unlimited()` is bit-identical to
+/// the plain entry point.
+pub fn rb_partition_budgeted(
+    g: &WeightedGraph,
+    k: usize,
+    c: &Constraints,
+    params: &RbParams,
+    time_budget: &Budget,
+) -> Result<RbResult, Box<RbInfeasible>> {
     assert!(k >= 1, "k must be at least 1");
     let n = g.num_nodes();
     let mut phases = PhaseSeconds::default();
@@ -431,12 +501,14 @@ pub fn rb_partition(
             feasible: true,
             cycles_used: 0,
             phases,
+            degraded: None,
         });
     }
 
     let all: Vec<NodeId> = g.node_ids().collect();
     let mut best: Option<((u64, u64, u64), Partition)> = None;
     let mut cycles_used = 0;
+    let mut degraded: Option<Degradation> = None;
     // when the necessary condition already fails (a node outweighs Rmax
     // or total weight exceeds k·Rmax) no amount of backtracking helps:
     // produce one balanced best attempt and report infeasibility
@@ -447,6 +519,12 @@ pub fn rb_partition(
         params.max_cycles.max(1)
     };
     for cycle in 0..cycles {
+        if cycle > 0 && time_budget.expired() {
+            degraded.get_or_insert_with(|| {
+                Degradation::new("cycle", format!("deadline expired after {cycle} cycle(s)"))
+            });
+            break;
+        }
         cycles_used = cycle + 1;
         let cycle_seed = derive_seed(params.seed, 0x5B15EC7 + cycle as u64);
         let mut p = Partition::unassigned(n, k);
@@ -466,23 +544,33 @@ pub fn rb_partition(
             &mut p,
             &mut phases,
             &mut budget,
+            time_budget,
+            &mut degraded,
         );
         debug_assert!(p.is_complete());
 
         // recursive bisection never saw Bmax — gp-core's constrained
-        // k-way refinement does
-        let t0 = Instant::now();
-        constrained_refine(
-            g,
-            &mut p,
-            c,
-            &RefineOptions {
-                max_passes: params.repair_passes,
-                seed: derive_seed(cycle_seed, 0x4EF),
-                protect_nonempty: true,
-            },
-        );
-        phases.refine_s += t0.elapsed().as_secs_f64();
+        // k-way refinement does. An expired budget skips the repair:
+        // the contiguous fill is already the best we can afford.
+        fault_point("rb", "refine");
+        if time_budget.is_unlimited() || !time_budget.expired() {
+            let t0 = Instant::now();
+            constrained_refine(
+                g,
+                &mut p,
+                c,
+                &RefineOptions {
+                    max_passes: time_budget.clamp_refine_passes(params.repair_passes),
+                    seed: derive_seed(cycle_seed, 0x4EF),
+                    protect_nonempty: true,
+                },
+            );
+            phases.refine_s += t0.elapsed().as_secs_f64();
+        } else {
+            degraded.get_or_insert_with(|| {
+                Degradation::new("refine", "deadline expired; skipping the Bmax repair pass")
+            });
+        }
 
         let goodness = PartitionQuality::measure(g, &p).goodness_key(c.rmax, c.bmax);
         let is_better = best.as_ref().map(|(bg, _)| goodness < *bg).unwrap_or(true);
@@ -505,6 +593,7 @@ pub fn rb_partition(
         feasible,
         cycles_used,
         phases,
+        degraded,
     };
     if feasible {
         Ok(result)
@@ -657,5 +746,62 @@ mod tests {
             Ok(r) => assert!(r.quality.max_local_bandwidth <= 29),
             Err(e) => assert!(e.best.report.violation_count() > 0),
         }
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use ppn_graph::Budget;
+    use std::time::Duration;
+
+    fn clustered(clusters: usize, size: usize) -> WeightedGraph {
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..clusters * size).map(|_| g.add_node(2)).collect();
+        for c in 0..clusters {
+            let b = c * size;
+            for i in 0..size {
+                for j in (i + 1)..size {
+                    g.add_edge(n[b + i], n[b + j], 20).unwrap();
+                }
+            }
+        }
+        for c in 0..clusters {
+            let next = (c + 1) % clusters;
+            g.add_edge(n[c * size], n[next * size + 1], 1).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical_to_unbudgeted() {
+        let g = clustered(4, 6);
+        let c = Constraints::new(60, 1_000);
+        let plain = match rb_partition(&g, 4, &c, &RbParams::default()) {
+            Ok(r) => r,
+            Err(e) => e.best.clone(),
+        };
+        let budgeted =
+            match rb_partition_budgeted(&g, 4, &c, &RbParams::default(), &Budget::unlimited()) {
+                Ok(r) => r,
+                Err(e) => e.best.clone(),
+            };
+        assert_eq!(plain.partition, budgeted.partition);
+        assert!(budgeted.degraded.is_none());
+    }
+
+    #[test]
+    fn expired_deadline_still_returns_a_complete_partition() {
+        let g = clustered(6, 10);
+        let c = Constraints::new(200, 10_000);
+        let budget = Budget::unlimited().with_deadline(Duration::ZERO);
+        let r = match rb_partition_budgeted(&g, 4, &c, &RbParams::default(), &budget) {
+            Ok(r) => r,
+            Err(e) => e.best.clone(),
+        };
+        assert!(r.partition.is_complete(), "fallback must assign every node");
+        assert_eq!(r.partition.k(), 4);
+        let d = r.degraded.expect("zero deadline must report degradation");
+        assert!(!d.phase.is_empty() && !d.reason.is_empty());
     }
 }

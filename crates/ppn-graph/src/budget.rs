@@ -1,0 +1,243 @@
+//! Cooperative run-time budgets for the partitioning engines.
+//!
+//! A [`Budget`] is a cheap handle every engine threads through its
+//! phases: a wall-clock deadline, optional structural caps (coarsening
+//! levels, refinement passes) and an atomic cancel flag. Engines consult
+//! it **only at pass/level boundaries** — never inside a hot inner loop —
+//! so a run with the default unlimited budget takes the exact same code
+//! path, and produces the bit-identical partition, as a run that never
+//! heard of budgets.
+//!
+//! The contract mirrors what KaHyPar's production line treats as table
+//! stakes: when the budget expires mid-run the engine does not error out,
+//! it stops starting new work, finishes projecting its best candidate to
+//! the finest level (an O(n) operation) and returns that partition
+//! flagged as *degraded* ([`Degradation`]). The *cancel* flag is the hard
+//! variant: callers set it when they no longer want an answer at all, and
+//! the backend boundary converts it into a typed error instead of a
+//! degraded outcome.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Conservative pre-flight cost estimate: one unit ≈ one edge or pin
+/// touched by a phase. Deliberately pessimistic (a slow matching level
+/// runs at a few hundred ns/edge) so a budgeted engine degrades a phase
+/// it cannot plausibly finish instead of blowing through the deadline.
+const WORK_NS_PER_UNIT: u64 = 250;
+
+/// A cooperative execution budget. `Default`/[`Budget::unlimited`] is the
+/// no-op budget: every check is a handful of branches on `None`, keeping
+/// the unbudgeted hot path bit-identical and effectively free.
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    max_coarsen_levels: Option<usize>,
+    max_refine_passes: Option<usize>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Budget {
+    /// The budget that never expires (the default).
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Expire `limit` from now.
+    pub fn with_deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(Instant::now() + limit);
+        self
+    }
+
+    /// Expire at an absolute instant (for sharing one deadline across
+    /// several backends, e.g. the fallback driver).
+    pub fn with_deadline_at(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Cap the number of coarsening levels an engine may build.
+    pub fn with_max_coarsen_levels(mut self, levels: usize) -> Self {
+        self.max_coarsen_levels = Some(levels);
+        self
+    }
+
+    /// Cap the refinement sweeps per hierarchy level.
+    pub fn with_max_refine_passes(mut self, passes: usize) -> Self {
+        self.max_refine_passes = Some(passes);
+        self
+    }
+
+    /// Attach a cancel flag; setting it aborts at the next checkpoint.
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// True when no limit of any kind is configured — engines may use
+    /// this to skip budget bookkeeping entirely.
+    #[inline]
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_coarsen_levels.is_none()
+            && self.max_refine_passes.is_none()
+            && self.cancel.is_none()
+    }
+
+    /// True when the cancel flag was raised.
+    #[inline]
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// True when the deadline passed or the run was cancelled. The
+    /// deadline branch costs one `Instant::now()`; with no deadline and
+    /// no cancel flag this is two `None` checks.
+    #[inline]
+    pub fn expired(&self) -> bool {
+        if self.cancelled() {
+            return true;
+        }
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// Wall-clock left before the deadline (`None` = no deadline).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Pre-flight gate for an uninterruptible phase: would ~`units`
+    /// units of graph work (edges matched, pins scanned) plausibly fit
+    /// in the remaining wall-clock? Unlimited budgets always admit;
+    /// expired ones never do. See [`WORK_NS_PER_UNIT`].
+    pub fn admits_work(&self, units: u64) -> bool {
+        if self.cancelled() {
+            return false;
+        }
+        match self.remaining() {
+            None => true,
+            Some(rem) => {
+                let est = Duration::from_nanos(units.saturating_mul(WORK_NS_PER_UNIT));
+                rem > est
+            }
+        }
+    }
+
+    /// True when building coarsening level `level` (0-based) is still
+    /// within the structural cap.
+    #[inline]
+    pub fn allows_coarsen_level(&self, level: usize) -> bool {
+        match self.max_coarsen_levels {
+            Some(cap) => level < cap,
+            None => true,
+        }
+    }
+
+    /// The refinement sweeps to run per level: the engine's configured
+    /// count, clamped by the budget's cap when one is set.
+    #[inline]
+    pub fn clamp_refine_passes(&self, configured: usize) -> usize {
+        match self.max_refine_passes {
+            Some(cap) => configured.min(cap),
+            None => configured,
+        }
+    }
+}
+
+/// What a budgeted engine reports when it returned best-so-far instead
+/// of running to completion: the phase that was cut short and why.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Degradation {
+    /// The phase that was cut short (`coarsen`, `initial`, `refine`, …).
+    pub phase: String,
+    /// Human-readable cause (`deadline expired`, `level cap`, …).
+    pub reason: String,
+}
+
+impl Degradation {
+    /// Construct a degradation record.
+    pub fn new(phase: &str, reason: impl Into<String>) -> Self {
+        Degradation {
+            phase: phase.to_string(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "degraded in {}: {}", self.phase, self.reason)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(!b.expired());
+        assert!(!b.cancelled());
+        assert!(b.admits_work(u64::MAX));
+        assert!(b.allows_coarsen_level(usize::MAX - 1));
+        assert_eq!(b.clamp_refine_passes(8), 8);
+        assert_eq!(b.remaining(), None);
+    }
+
+    #[test]
+    fn deadline_expires_and_gates_work() {
+        let b = Budget::unlimited().with_deadline(Duration::from_millis(0));
+        assert!(!b.is_unlimited());
+        assert!(b.expired());
+        assert!(!b.admits_work(1));
+        let b = Budget::unlimited().with_deadline(Duration::from_secs(3600));
+        assert!(!b.expired());
+        assert!(b.admits_work(1_000)); // 250µs fits in an hour
+        assert!(!b.admits_work(u64::MAX / WORK_NS_PER_UNIT)); // centuries do not
+    }
+
+    #[test]
+    fn cancel_flag_trips_every_check() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let b = Budget::unlimited().with_cancel(flag.clone());
+        assert!(!b.expired());
+        flag.store(true, Ordering::Relaxed);
+        assert!(b.expired());
+        assert!(b.cancelled());
+        assert!(!b.admits_work(0));
+    }
+
+    #[test]
+    fn structural_caps_clamp() {
+        let b = Budget::unlimited()
+            .with_max_coarsen_levels(2)
+            .with_max_refine_passes(3);
+        assert!(b.allows_coarsen_level(0));
+        assert!(b.allows_coarsen_level(1));
+        assert!(!b.allows_coarsen_level(2));
+        assert_eq!(b.clamp_refine_passes(8), 3);
+        assert_eq!(b.clamp_refine_passes(1), 1);
+    }
+
+    #[test]
+    fn degradation_displays() {
+        let d = Degradation::new("coarsen", "deadline expired at level 3");
+        assert_eq!(
+            d.to_string(),
+            "degraded in coarsen: deadline expired at level 3"
+        );
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Degradation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

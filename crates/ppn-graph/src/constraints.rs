@@ -38,7 +38,8 @@ impl Constraints {
     /// Quick necessary-condition check: no single node may exceed `rmax`,
     /// and total weight must fit into `k * rmax`.
     pub fn admits(&self, g: &WeightedGraph, k: usize) -> bool {
-        g.max_node_weight() <= self.rmax && g.total_node_weight() <= self.rmax * k as u64
+        g.max_node_weight() <= self.rmax
+            && g.total_node_weight() <= self.rmax.saturating_mul(k as u64)
     }
 
     /// Resource budget of a subproblem that will eventually hold

@@ -1,0 +1,190 @@
+//! Env-gated fault injection for the robustness suite.
+//!
+//! Mirrors the perf harness's `PERF_INJECT_SLOWDOWN` idiom: a
+//! `FAULT_INJECT` environment variable names fault points to arm, and
+//! every engine calls [`fault_point`] with its `engine:phase` name at
+//! phase boundaries. Disarmed (the default), a fault point is one
+//! relaxed atomic load — cheap enough to leave in release builds, which
+//! is the point: the robustness suite injects panics and stalls into the
+//! *production* code paths, not into test doubles.
+//!
+//! Spec grammar (comma-separated):
+//!
+//! ```text
+//! FAULT_INJECT=gp:refine:panic
+//! FAULT_INJECT=gp:coarsen:stall:500ms,rb:bisect:panic
+//! ```
+//!
+//! Actions: `panic` (the trait-boundary `catch_unwind` must convert it
+//! into a typed `BackendPanicked` error) and `stall:<N>ms` (sleeps, so
+//! budget deadlines can be exercised deterministically). Tests in one
+//! process use [`install`]/[`clear`] instead of the env var — the env is
+//! read once, but installs may replace the armed set at any time.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Duration;
+
+/// What an armed fault point does when hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic with an `injected fault` message.
+    Panic,
+    /// Sleep for the given duration, then continue.
+    Stall(Duration),
+}
+
+/// One armed fault: `engine:phase` plus the action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// Engine name (`gp`, `rb`, `hyper`, `metis`, …) or `*`.
+    pub engine: String,
+    /// Phase name (`coarsen`, `initial`, `refine`, …) or `*`.
+    pub phase: String,
+    /// What to do when the point is hit.
+    pub action: FaultAction,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+fn faults() -> &'static Mutex<Vec<Fault>> {
+    static FAULTS: OnceLock<Mutex<Vec<Fault>>> = OnceLock::new();
+    FAULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Parse a `FAULT_INJECT` spec. Empty specs are valid (no faults).
+pub fn parse_spec(spec: &str) -> Result<Vec<Fault>, String> {
+    let mut out = Vec::new();
+    for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+        let parts: Vec<&str> = entry.split(':').collect();
+        if parts.len() < 3 {
+            return Err(format!(
+                "fault `{entry}`: expected engine:phase:action[:arg]"
+            ));
+        }
+        let action = match parts[2] {
+            "panic" => {
+                if parts.len() != 3 {
+                    return Err(format!("fault `{entry}`: panic takes no argument"));
+                }
+                FaultAction::Panic
+            }
+            "stall" => {
+                let arg = parts
+                    .get(3)
+                    .ok_or_else(|| format!("fault `{entry}`: stall needs a duration"))?;
+                let ms: u64 = arg
+                    .trim_end_matches("ms")
+                    .parse()
+                    .map_err(|_| format!("fault `{entry}`: bad stall duration `{arg}`"))?;
+                FaultAction::Stall(Duration::from_millis(ms))
+            }
+            other => return Err(format!("fault `{entry}`: unknown action `{other}`")),
+        };
+        out.push(Fault {
+            engine: parts[0].to_string(),
+            phase: parts[1].to_string(),
+            action,
+        });
+    }
+    Ok(out)
+}
+
+fn init_from_env() {
+    ENV_INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("FAULT_INJECT") {
+            match parse_spec(&spec) {
+                Ok(parsed) if !parsed.is_empty() => {
+                    *faults().lock().unwrap() = parsed;
+                    ARMED.store(true, Ordering::Release);
+                }
+                Ok(_) => {}
+                Err(e) => eprintln!("FAULT_INJECT ignored: {e}"),
+            }
+        }
+    });
+}
+
+/// Arm a fault set programmatically (tests). Replaces whatever was armed
+/// before, including env-derived faults.
+pub fn install(spec: &str) -> Result<(), String> {
+    init_from_env(); // keep env/install ordering deterministic
+    let parsed = parse_spec(spec)?;
+    let armed = !parsed.is_empty();
+    *faults().lock().unwrap() = parsed;
+    ARMED.store(armed, Ordering::Release);
+    Ok(())
+}
+
+/// Disarm every fault point.
+pub fn clear() {
+    init_from_env();
+    faults().lock().unwrap().clear();
+    ARMED.store(false, Ordering::Release);
+}
+
+/// A named fault point. Engines call this at phase boundaries; it does
+/// nothing unless a matching fault is armed via `FAULT_INJECT` or
+/// [`install`].
+#[inline]
+pub fn fault_point(engine: &str, phase: &str) {
+    init_from_env();
+    if !ARMED.load(Ordering::Acquire) {
+        return;
+    }
+    fault_point_slow(engine, phase);
+}
+
+#[cold]
+fn fault_point_slow(engine: &str, phase: &str) {
+    let action = {
+        let armed = faults().lock().unwrap();
+        armed
+            .iter()
+            .find(|f| {
+                (f.engine == engine || f.engine == "*") && (f.phase == phase || f.phase == "*")
+            })
+            .map(|f| f.action.clone())
+        // guard dropped before acting: a panic must not poison the set
+    };
+    match action {
+        Some(FaultAction::Panic) => panic!("injected fault at {engine}:{phase}"),
+        Some(FaultAction::Stall(d)) => std::thread::sleep(d),
+        None => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_grammar_parses_and_rejects() {
+        assert_eq!(parse_spec("").unwrap(), vec![]);
+        let faults = parse_spec("gp:refine:panic,rb:bisect:stall:500ms").unwrap();
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0].engine, "gp");
+        assert_eq!(faults[0].phase, "refine");
+        assert_eq!(faults[0].action, FaultAction::Panic);
+        assert_eq!(
+            faults[1].action,
+            FaultAction::Stall(Duration::from_millis(500))
+        );
+        // bare millisecond counts work too
+        let faults = parse_spec("hyper:coarsen:stall:25").unwrap();
+        assert_eq!(
+            faults[0].action,
+            FaultAction::Stall(Duration::from_millis(25))
+        );
+        assert!(parse_spec("gp:refine").is_err());
+        assert!(parse_spec("gp:refine:explode").is_err());
+        assert!(parse_spec("gp:refine:stall").is_err());
+        assert!(parse_spec("gp:refine:stall:soon").is_err());
+        assert!(parse_spec("gp:refine:panic:now").is_err());
+    }
+
+    // install/clear/fault_point behaviour is exercised end-to-end by the
+    // workspace robustness suite (tests/robustness.rs), which owns the
+    // process-global armed set behind a serialising mutex.
+}

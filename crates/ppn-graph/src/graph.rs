@@ -278,7 +278,6 @@ impl WeightedGraph {
                 return Err(GraphError::ZeroWeight);
             }
         }
-        let mut seen = std::collections::HashSet::new();
         for (i, &(u, v, w)) in self.edges.iter().enumerate() {
             if u == v {
                 return Err(GraphError::SelfLoop(u.0));
@@ -292,14 +291,23 @@ impl WeightedGraph {
             if v.index() >= self.num_nodes() {
                 return Err(GraphError::InvalidNode(v.0));
             }
-            let key = if u < v { (u, v) } else { (v, u) };
-            if !seen.insert(key) {
-                return Err(GraphError::DuplicateEdge(u.0, v.0));
-            }
             let eid = EdgeId::from_index(i);
             if !self.adj[u.index()].contains(&(v, eid)) || !self.adj[v.index()].contains(&(u, eid))
             {
                 return Err(GraphError::InvalidEdge(eid.0));
+            }
+        }
+        // Duplicate detection via a stamped marker array: O(V + E) with a
+        // single allocation, instead of a HashSet keyed on edge pairs.
+        // validate() sits on the request path of budgeted runs, where a
+        // 1M-node instance must clear it in a few milliseconds.
+        let mut last_seen_from = vec![u32::MAX; self.num_nodes()];
+        for u in 0..self.num_nodes() {
+            for &(v, _) in &self.adj[u] {
+                if last_seen_from[v.index()] == u as u32 {
+                    return Err(GraphError::DuplicateEdge(u as u32, v.0));
+                }
+                last_seen_from[v.index()] = u as u32;
             }
         }
         let half_edges: usize = self.adj.iter().map(|a| a.len()).sum();

@@ -22,10 +22,12 @@
 pub mod algo;
 pub mod arena;
 pub mod boundary;
+pub mod budget;
 pub mod constraints;
 pub mod contract;
 pub mod csr;
 pub mod error;
+pub mod faultpoint;
 pub mod graph;
 pub mod ids;
 pub mod io;
@@ -37,6 +39,7 @@ pub mod view;
 
 pub use arena::{LevelArena, LevelView};
 pub use boundary::Boundary;
+pub use budget::{Budget, Degradation};
 pub use constraints::{ConstraintReport, Constraints};
 pub use contract::{contract, contract_reference, contract_with, CoarseMap, ContractScratch};
 pub use csr::{Csr, CsrView};

@@ -45,6 +45,24 @@ impl Partition {
         Ok(Partition { k, assign })
     }
 
+    /// Deterministic O(n) fallback assignment: split the node sequence
+    /// into `k` contiguous runs of roughly equal summed weight. No edge
+    /// is ever looked at — this is the partition a budget-expired engine
+    /// returns when it has no refined candidate yet (complete and
+    /// weight-balanced, but with no claim on the cut or on `Bmax`).
+    pub fn contiguous_balanced(weights: &[u64], k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        let total: u128 = weights.iter().map(|&w| w as u128).sum::<u128>().max(1);
+        let mut assign = Vec::with_capacity(weights.len());
+        let mut cum: u128 = 0;
+        for &w in weights {
+            let part = (cum * k as u128 / total).min(k as u128 - 1) as u32;
+            assign.push(part);
+            cum += w as u128;
+        }
+        Partition { k, assign }
+    }
+
     /// All nodes in part 0 (useful as a seed state).
     pub fn all_in_one(n: usize, k: usize) -> Self {
         assert!(k >= 1);
@@ -281,5 +299,32 @@ mod tests {
         p.unassign(NodeId(1));
         assert!(!p.is_complete());
         assert_eq!(p.unassigned_nodes(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn contiguous_balanced_is_complete_and_balanced() {
+        let weights = vec![3u64; 30];
+        let p = Partition::contiguous_balanced(&weights, 4);
+        assert!(p.is_complete());
+        assert_eq!(p.k(), 4);
+        // contiguous: part indices never decrease along the sequence
+        assert!(p.assignment().windows(2).all(|w| w[0] <= w[1]));
+        // every part holds 7±1 of the 30 uniform nodes
+        let sizes = p.part_sizes();
+        assert!(sizes.iter().all(|&s| (7..=8).contains(&s)), "{sizes:?}");
+    }
+
+    #[test]
+    fn contiguous_balanced_survives_degenerate_shapes() {
+        // k > n: trailing parts stay empty, nodes all land in range
+        let p = Partition::contiguous_balanced(&[5, 5], 6);
+        assert!(p.is_complete());
+        assert!(p.assignment().iter().all(|&x| (x as usize) < 6));
+        // empty node set
+        let p = Partition::contiguous_balanced(&[], 3);
+        assert_eq!(p.len(), 0);
+        // huge weights must not overflow the proportional split
+        let p = Partition::contiguous_balanced(&[u64::MAX, u64::MAX, u64::MAX], 3);
+        assert_eq!(p.assignment(), &[0, 1, 2]);
     }
 }

@@ -1,0 +1,103 @@
+//! Adversarial I/O: every fixture under `tests/fixtures/adversarial/`
+//! is a malformed input a hostile (or merely truncated) producer could
+//! hand us. Loading one must return a typed error — never a panic, and
+//! never a silently "repaired" instance.
+//!
+//! Each fixture is also pushed through the hardened
+//! [`Partitioner::partition`] boundary where it can be wrapped into an
+//! instance, proving the validation gate rejects it before any engine
+//! runs.
+
+use ppn_backend::{validate_instance, Budget, GpBackend, PartitionError, PartitionInstance};
+use ppn_graph::io::{json, metis};
+use ppn_graph::Constraints;
+use ppn_hyper::Hypergraph;
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/adversarial")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn truncated_metis_is_a_parse_error() {
+    let err = metis::parse(&fixture("truncated.metis")).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("expected 4 node lines"), "{msg}");
+}
+
+#[test]
+fn self_loop_graph_json_is_rejected() {
+    let err = json::graph_from_json(&fixture("selfloop.graph.json")).unwrap_err();
+    assert!(err.to_string().contains("self loop"), "{err}");
+}
+
+#[test]
+fn duplicate_edge_graph_json_is_rejected() {
+    let err = json::graph_from_json(&fixture("dup-edge.graph.json")).unwrap_err();
+    assert!(err.to_string().contains("duplicate"), "{err}");
+}
+
+#[test]
+fn zero_weight_graph_json_is_rejected() {
+    let err = json::graph_from_json(&fixture("zero-weight.graph.json")).unwrap_err();
+    assert!(err.to_string().contains("strictly positive"), "{err}");
+}
+
+#[test]
+fn dangling_endpoint_graph_json_is_rejected() {
+    let err = json::graph_from_json(&fixture("dangling.graph.json")).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains('7'), "names the bad node: {msg}");
+}
+
+#[test]
+fn truncated_hypergraph_json_is_rejected_not_panicking() {
+    let hg: Hypergraph = serde_json::from_str(&fixture("truncated.hyper.json")).unwrap();
+    let err = hg.validate().unwrap_err();
+    assert!(err.contains("truncated"), "{err}");
+}
+
+#[test]
+fn non_monotone_hypergraph_offsets_are_rejected() {
+    let hg: Hypergraph = serde_json::from_str(&fixture("bad-offsets.hyper.json")).unwrap();
+    let err = hg.validate().unwrap_err();
+    assert!(err.contains("monotone"), "{err}");
+}
+
+#[test]
+fn duplicate_pin_hypergraph_is_rejected() {
+    let hg: Hypergraph = serde_json::from_str(&fixture("dup-pin.hyper.json")).unwrap();
+    let err = hg.validate().unwrap_err();
+    assert!(err.contains("duplicate pin"), "{err}");
+}
+
+#[test]
+fn corrupt_hypergraph_view_is_stopped_at_the_partition_boundary() {
+    // A structurally sound graph paired with a corrupt hypergraph view:
+    // validate_instance (and therefore Partitioner::partition) must
+    // reject the pair before any engine dereferences the bad offsets.
+    let mut g = ppn_graph::WeightedGraph::new();
+    let a = g.add_node(1);
+    let b = g.add_node(1);
+    let c = g.add_node(1);
+    g.add_edge(a, b, 1).unwrap();
+    g.add_edge(b, c, 1).unwrap();
+    let hg: Hypergraph = serde_json::from_str(&fixture("truncated.hyper.json")).unwrap();
+    let inst = PartitionInstance::from_graph("corrupt-view", g, 2, Constraints::new(10, 10))
+        .with_hypergraph(hg);
+    let err = validate_instance(&inst).unwrap_err();
+    assert!(
+        matches!(err, PartitionError::InvalidInstance { .. }),
+        "{err}"
+    );
+    use ppn_backend::Partitioner;
+    let err = GpBackend::default()
+        .partition(&inst, 7, &Budget::unlimited())
+        .unwrap_err();
+    assert!(
+        matches!(err, PartitionError::InvalidInstance { .. }),
+        "{err}"
+    );
+}
