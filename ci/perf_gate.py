@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over BENCH_gp.json documents (schema 5).
+"""Perf-regression gate over BENCH_gp.json documents (schema 6).
 
 Usage: perf_gate.py BASELINE FRESH [--max-slowdown 1.4] [--min-time 0.02]
 
@@ -11,11 +11,17 @@ peak RSS more than doubled (with an absolute slack for allocator
 noise). Phases where both runs are faster than ``--min-time`` seconds
 are skipped — microsecond rows measure scheduler noise, not code.
 
-Schema 5 adds the ``budgeted`` block per workload: the same run through
+Schema 5 added the ``budgeted`` block per workload: the same run through
 the deadline-budgeted entry point under a deadline it never hits. The
 gate asserts the harness's bit-identity claim and, on the dedicated
 overhead row (``BUDGET_GATE_ROW``), that the cooperative budget
 checkpoints cost less than ``BUDGET_OVERHEAD_MAX`` of end-to-end time.
+
+Schema 6 adds the ``trace`` block per workload: a rerun with the
+``ppn_graph::trace`` collector armed. The gate asserts that observation
+did not perturb the partition, that the gated row actually emitted
+events, and — on the same dedicated row — that armed collection costs
+less than ``TRACE_OVERHEAD_MAX`` of end-to-end time.
 
 Runner-speed differences are normalised away with the documents'
 ``calibration_s`` field (a fixed deterministic spin loop timed by the
@@ -41,6 +47,8 @@ CALIBRATION_CLAMP = (0.2, 5.0)
 # enough (~0.5s end-to-end) that 2% is signal, not scheduler noise.
 BUDGET_GATE_ROW = "scaling-32768x16"
 BUDGET_OVERHEAD_MAX = 0.02
+# Armed trace collection is bounded on the same row, same reasoning.
+TRACE_OVERHEAD_MAX = 0.02
 
 
 def load(path):
@@ -49,8 +57,8 @@ def load(path):
 
 
 def assert_schema(doc, path):
-    """Schema-5 shape assertions (replaces the old schema-4 CI check)."""
-    assert doc.get("schema") == 5, f"{path}: schema {doc.get('schema')} != 5"
+    """Schema-6 shape assertions (replaces the old schema-5 CI check)."""
+    assert doc.get("schema") == 6, f"{path}: schema {doc.get('schema')} != 6"
     assert doc.get("workloads"), f"{path}: no scaling workloads"
     assert doc.get("hyper_workloads"), f"{path}: no hypergraph workloads"
     assert doc.get("calibration_s", 0) > 0, f"{path}: missing calibration_s"
@@ -70,6 +78,12 @@ def assert_schema(doc, path):
         assert budgeted.get("degraded") is None, (
             f"{path}: {name}: an unexpired budget reported degradation"
         )
+        tr = w.get("trace")
+        assert tr, f"{path}: {name}: no trace block"
+        assert tr.get("identical_partition") is True, (
+            f"{path}: {name}: armed trace run diverged from the plain one"
+        )
+        assert tr.get("events", 0) > 0, f"{path}: {name}: armed run emitted no events"
         for lvl in w.get("coarsen_levels", []):
             assert lvl.get("heuristics"), (
                 f"{path}: {name} level {lvl.get('level')}: no per-heuristic timings"
@@ -101,6 +115,26 @@ def check_budget_overhead(doc, min_time):
     return failures
 
 
+def check_trace_overhead(doc, min_time):
+    """Bound the armed trace-collection cost on the dedicated row."""
+    failures = []
+    for w in doc["workloads"]:
+        tr = w["trace"]
+        overhead = tr["overhead_frac"]
+        gated = w["name"] == BUDGET_GATE_ROW and w["phases_s"]["end_to_end"] >= min_time
+        verdict = ""
+        if gated:
+            verdict = "FAIL" if overhead > TRACE_OVERHEAD_MAX else "ok (gated)"
+            if overhead > TRACE_OVERHEAD_MAX:
+                failures.append(
+                    f"{w['name']}: armed tracing cost "
+                    f"{overhead * 100:.2f}% of end-to-end "
+                    f"(limit {TRACE_OVERHEAD_MAX * 100:.0f}%)")
+        print(f"  {w['name']:<20} trace overhead  {overhead * 100:+6.2f}%  "
+              f"{tr['events']} events  {verdict}")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -120,17 +154,20 @@ def main():
         return 1
 
     print("budget-checkpoint overhead (fresh document):")
-    budget_failures = check_budget_overhead(fresh, args.min_time)
-    if budget_failures:
+    overhead_failures = check_budget_overhead(fresh, args.min_time)
+    print("armed-trace overhead (fresh document):")
+    overhead_failures += check_trace_overhead(fresh, args.min_time)
+    if overhead_failures:
         print("\nperf regression gate FAILED:")
-        for f in budget_failures:
+        for f in overhead_failures:
             print(f"  - {f}")
         return 1
 
-    # schema-4 baselines predate the budgeted block but their timing
-    # rows compare one-to-one; anything older has no comparable shape
-    if base.get("schema") not in (4, 5):
-        print(f"note: baseline schema {base.get('schema')} not in (4, 5) — "
+    # schema-4/5 baselines predate the trace block (4 also the budgeted
+    # block) but their timing rows compare one-to-one; anything older
+    # has no comparable shape
+    if base.get("schema") not in (4, 5, 6):
+        print(f"note: baseline schema {base.get('schema')} not in (4, 5, 6) — "
               "shape-checked fresh document only, no timing comparison")
         return 0
 

@@ -8,9 +8,9 @@ use gp_classic::kway::{kway_refine, KwayOptions};
 use gp_core::{gp_partition_budgeted, GpParams};
 use metis_lite::{kway_partition, rb_partition_budgeted, MetisOptions, RbParams};
 use ppn_graph::prng::derive_seed;
+use ppn_graph::trace;
 use ppn_graph::{Budget, Degradation, Partition};
 use ppn_hyper::{hyper_partition_budgeted, HyperParams};
-use std::time::Instant;
 
 /// Contiguous-fill fallback for budgetless engines (`kway`, `metis`)
 /// when the budget has already expired or cannot plausibly fit a run:
@@ -190,11 +190,12 @@ impl Partitioner for KwayBackend {
         {
             return degraded_fill(self.name(), inst, "bisect");
         }
-        let t0 = Instant::now();
+        let _run = trace::span("kway", "partition", g.num_nodes() as i64);
+        let sp = trace::timed_span("kway", "bisect", k as i64);
         let mut p = recursive_bisection(g, k, self.balance, seed);
-        let bisect_s = t0.elapsed().as_secs_f64();
+        let bisect_s = sp.finish();
         let mut degraded = None;
-        let t0 = Instant::now();
+        let sp = trace::timed_span("kway", "refine", k as i64);
         if budget.is_unlimited() || !budget.expired() {
             let mut opts = KwayOptions::balanced(g, k, self.balance);
             opts.max_passes = budget.clamp_refine_passes(self.refine_passes);
@@ -206,7 +207,7 @@ impl Partitioner for KwayBackend {
                 "deadline expired after bisection; refinement skipped",
             ));
         }
-        let refine_s = t0.elapsed().as_secs_f64();
+        let refine_s = sp.finish();
         PartitionOutcome::measure_edge(
             self.name(),
             g,
@@ -253,9 +254,9 @@ impl Partitioner for MetisBackend {
         {
             return degraded_fill(self.name(), inst, "kway");
         }
-        let t0 = Instant::now();
+        let sp = trace::timed_span("metis", "total", inst.num_nodes() as i64);
         let r = kway_partition(&inst.graph, inst.k, &self.options.clone().with_seed(seed));
-        let total_s = t0.elapsed().as_secs_f64();
+        let total_s = sp.finish();
         PartitionOutcome::measure_edge(
             self.name(),
             &inst.graph,
@@ -297,12 +298,12 @@ impl Partitioner for HyperBackend {
         }
         let hg = inst.hyper_view();
         let params = self.params.clone().with_seed(seed);
-        let t0 = Instant::now();
+        let sp = trace::timed_span("hyper", "total", inst.num_nodes() as i64);
         let r = match hyper_partition_budgeted(&hg, inst.k, &inst.constraints, &params, budget) {
             Ok(r) => r,
             Err(e) => e.best,
         };
-        let total_s = t0.elapsed().as_secs_f64();
+        let total_s = sp.finish();
         PartitionOutcome::measure_conn(
             self.name(),
             &hg,

@@ -42,7 +42,7 @@ pub use backends::{GpBackend, HyperBackend, KwayBackend, MetisBackend, RbBackend
 pub use error::{validate_instance, PartitionError};
 pub use instance::PartitionInstance;
 pub use outcome::{Completion, CostModel, CostReport, PartitionOutcome, PhaseTiming};
-pub use ppn_graph::{Budget, Degradation};
+pub use ppn_graph::{trace, Budget, Degradation};
 pub use registry::{backend_by_name, backend_names, backends};
 pub use robust::{robust_partition, BackendAttempt, RobustOutcome};
 pub use suite::{conformance_matrix, degenerate_matrix, infeasible_matrix, reference_verify};

@@ -80,7 +80,11 @@ impl Completion {
 }
 
 /// One named phase timing (seconds). Timings are measured wall-clock —
-/// never compare them across runs.
+/// never compare them across runs. Since the trace subsystem landed,
+/// every backend populates these rows from the same `timed_span` /
+/// span-derived sites that feed `ppn_graph::trace`; this struct is the
+/// serde-stable view of those spans, kept so CLI/JSON output is
+/// unchanged.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PhaseTiming {
     /// Phase name (`coarsen`, `initial`, `refine`, `total`, …).

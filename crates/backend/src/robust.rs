@@ -19,7 +19,8 @@ use crate::error::{validate_instance, PartitionError};
 use crate::instance::PartitionInstance;
 use crate::outcome::PartitionOutcome;
 use crate::registry::backend_by_name;
-use ppn_graph::Budget;
+use ppn_graph::{trace, Budget};
+use std::time::Instant;
 
 /// One entry of the fallback ledger: which backend was tried and how it
 /// went.
@@ -30,6 +31,8 @@ pub struct BackendAttempt {
     /// `None` when this backend produced the returned outcome; the
     /// error it failed with otherwise.
     pub error: Option<PartitionError>,
+    /// Wall-clock seconds this attempt ran, successful or not.
+    pub seconds: f64,
 }
 
 /// The result of [`robust_partition`]: the first successful outcome
@@ -81,7 +84,8 @@ pub fn robust_partition(
         chain
     };
     let mut attempts: Vec<BackendAttempt> = Vec::with_capacity(chain.len());
-    for &name in chain {
+    let _chain_sp = trace::span("robust", "chain", chain.len() as i64);
+    for (idx, &name) in chain.iter().enumerate() {
         let backend = backend_by_name(name).ok_or_else(|| PartitionError::UnknownBackend {
             name: name.to_string(),
             available: crate::registry::backend_names()
@@ -89,12 +93,19 @@ pub fn robust_partition(
                 .map(|s| s.to_string())
                 .collect(),
         })?;
-        match backend.partition(inst, seed, budget) {
+        let att_sp = trace::span("robust", backend.name(), idx as i64);
+        let start = Instant::now();
+        let result = backend.partition(inst, seed, budget);
+        let seconds = start.elapsed().as_secs_f64();
+        drop(att_sp);
+        match result {
             Ok(outcome) => {
                 let served_by = outcome.backend.clone();
+                trace::instant("robust", "served", idx as i64);
                 attempts.push(BackendAttempt {
                     backend: name.to_string(),
                     error: None,
+                    seconds,
                 });
                 return Ok(RobustOutcome {
                     outcome,
@@ -105,10 +116,15 @@ pub fn robust_partition(
             // Cancellation is the caller saying "stop": do not burn the
             // rest of the chain on an answer nobody wants.
             Err(e @ PartitionError::BudgetExhausted { .. }) => return Err(e),
-            Err(e) => attempts.push(BackendAttempt {
-                backend: name.to_string(),
-                error: Some(e),
-            }),
+            Err(e) => {
+                trace::instant_label("robust", "attempt_failed", idx as i64, &e.to_string());
+                trace::counter("robust", "fallback_attempts", 1);
+                attempts.push(BackendAttempt {
+                    backend: name.to_string(),
+                    error: Some(e),
+                    seconds,
+                });
+            }
         }
     }
     Err(PartitionError::AllBackendsFailed {

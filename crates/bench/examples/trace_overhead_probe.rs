@@ -1,0 +1,60 @@
+//! Quick probe of the trace-collector overhead on the gated perf row
+//! (scaling-32768x16), outside the full harness.
+//!
+//! Measures three things:
+//!
+//! 1. end-to-end with the collector disarmed (the shipping default) —
+//!    every instrumentation site costs one relaxed atomic load;
+//! 2. end-to-end with the collector armed — the full price of spans,
+//!    counters and gain histograms on a real run;
+//! 3. the disarmed per-call cost in isolation, by hammering a single
+//!    span site in a tight loop.
+
+use gp_core::{gp_partition, GpParams};
+use ppn_gen::dense_community_graph;
+use ppn_graph::trace::{self, TraceConfig};
+use ppn_graph::Constraints;
+use std::time::Instant;
+
+fn best(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut b = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        b = b.min(t.elapsed().as_secs_f64());
+    }
+    b
+}
+
+fn main() {
+    let g = dense_community_graph(16, 2048, (2, 9), 12, 2, 8, 99);
+    let k = 16;
+    let rmax = (g.total_node_weight() as f64 / k as f64 * 1.25).ceil() as u64;
+    let cons = Constraints::new(rmax, g.total_edge_weight() / k as u64);
+    let params = GpParams::default();
+
+    let disarmed = best(3, || {
+        let _ = gp_partition(&g, k, &cons, &params);
+    });
+    let mut events = 0usize;
+    let armed = best(3, || {
+        trace::start(TraceConfig::default());
+        let _ = gp_partition(&g, k, &cons, &params);
+        events = trace::stop().event_count();
+    });
+    println!(
+        "disarmed {disarmed:.4}s  armed {armed:.4}s  overhead {:+.2}%  ({events} events)",
+        (armed / disarmed - 1.0) * 100.0
+    );
+
+    // disarmed per-site cost: one relaxed load per span construction +
+    // one per drop, nothing else
+    const CALLS: u64 = 50_000_000;
+    let t0 = Instant::now();
+    for i in 0..CALLS {
+        let s = trace::span("probe", "noop", i as i64);
+        std::hint::black_box(&s);
+    }
+    let ns_per_call = t0.elapsed().as_nanos() as f64 / CALLS as f64;
+    println!("disarmed span site: {ns_per_call:.2} ns/call over {CALLS} calls");
+}

@@ -23,6 +23,12 @@
 //! cooperative budget checkpoints, asserted bit-identical here and
 //! bounded (<2% on the gated row) by `ci/perf_gate.py`.
 //!
+//! A third rerun arms the `ppn_graph::trace` collector: the recorded
+//! `trace.overhead_frac` is the full cost of span/counter/histogram
+//! collection on a real run (also asserted bit-identical, also bounded
+//! <2% on the gated row by the gate), and `trace.events` pins how many
+//! events the row emits so silent instrumentation loss is visible.
+//!
 //! A second section compares the edge-cut and connectivity objectives
 //! on fan-out-heavy multicast networks: GP on the clique-lowered graph
 //! versus `ppn_hyper::hyper_partition` on the net-lowered hypergraph,
@@ -45,6 +51,7 @@ use gp_core::{
 use ppn_gen::{dense_community_graph, multicast_network, MulticastSpec};
 use ppn_graph::metrics::{edge_cut, PartitionQuality};
 use ppn_graph::prng::derive_seed;
+use ppn_graph::trace::{self, TraceConfig};
 use ppn_graph::{Budget, Constraints, Partition, WeightedGraph};
 use ppn_hyper::{hyper_partition, HyperParams, HyperQuality};
 use ppn_model::{lower_to_graph, lower_to_hypergraph, LoweringOptions};
@@ -332,6 +339,50 @@ fn measure(w: &Workload, reps: usize) -> serde_json::Value {
     );
     let budget_overhead_frac = budgeted_s / end_to_end_s.max(1e-9) - 1.0;
 
+    // -- armed-trace overhead ------------------------------------------
+    //
+    // Same workload again with the trace collector armed: spans at every
+    // cycle/level/pass/attempt boundary, counters and gain histograms in
+    // the refinement inner loop. Observation must not perturb (the
+    // partition stays bit-identical) and must stay cheap (the gate
+    // bounds `overhead_frac` <2% on the gated row). The disarmed
+    // reference is re-measured here, interleaved with the armed runs —
+    // comparing against the `end_to_end_s` recorded minutes earlier
+    // would fold frequency and allocator drift into a number meant to
+    // isolate the collector.
+    let mut trace_events = 0usize;
+    let mut trace_dropped = 0u64;
+    let mut traced_s = f64::INFINITY;
+    let mut trace_plain_s = f64::INFINITY;
+    let mut traced_partition = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let _ = std::hint::black_box(gp_partition(&w.g, w.k, &w.cons, &params));
+        trace_plain_s = trace_plain_s.min(t0.elapsed().as_secs_f64());
+
+        trace::start(TraceConfig::default());
+        let t0 = Instant::now();
+        let r = match gp_partition(&w.g, w.k, &w.cons, &params) {
+            Ok(r) => r,
+            Err(e) => e.best,
+        };
+        let elapsed = t0.elapsed().as_secs_f64();
+        let session = trace::stop();
+        if elapsed < traced_s {
+            traced_s = elapsed;
+            trace_events = session.event_count();
+            trace_dropped = session.dropped;
+        }
+        traced_partition = Some(r.partition);
+    }
+    assert_eq!(
+        traced_partition.as_ref(),
+        Some(&unbudgeted.partition),
+        "{}: arming the trace collector changed the partition",
+        w.name
+    );
+    let trace_overhead_frac = traced_s / trace_plain_s.max(1e-9) - 1.0;
+
     // -- refinement before/after (reference-gated) --------------------
     //
     // Primary comparison: a scrambled start — the stress the criterion
@@ -410,7 +461,7 @@ fn measure(w: &Workload, reps: usize) -> serde_json::Value {
     let edges_per_sec = edges as f64 / end_to_end_s.max(1e-9);
     let rss = peak_rss_bytes();
     println!(
-        "{:<18} n={:<7} coarsen {:>8.4}s  initial {:>8.4}s  refine-up {:>8.4}s  e2e {:>8.4}s  {:>10.0} edges/s  rss {:>6.1} MiB  budget +{:>5.2}%",
+        "{:<18} n={:<7} coarsen {:>8.4}s  initial {:>8.4}s  refine-up {:>8.4}s  e2e {:>8.4}s  {:>10.0} edges/s  rss {:>6.1} MiB  budget +{:>5.2}%  trace +{:>5.2}% ({} ev)",
         w.name,
         n,
         coarsen_s,
@@ -420,6 +471,8 @@ fn measure(w: &Workload, reps: usize) -> serde_json::Value {
         edges_per_sec,
         rss as f64 / (1024.0 * 1024.0),
         budget_overhead_frac * 100.0,
+        trace_overhead_frac * 100.0,
+        trace_events,
     );
     if let Some(s) = coarsen_vs_reference.get("speedup").and_then(|v| v.as_f64()) {
         println!(
@@ -451,6 +504,14 @@ fn measure(w: &Workload, reps: usize) -> serde_json::Value {
             "overhead_frac": budget_overhead_frac,
             "identical_partition": true,
             "degraded": serde_json::Value::Null,
+        },
+        "trace": {
+            "end_to_end_s": traced_s,
+            "disarmed_end_to_end_s": trace_plain_s,
+            "overhead_frac": trace_overhead_frac,
+            "events": trace_events,
+            "dropped": trace_dropped,
+            "identical_partition": true,
         },
         "coarsen_levels": coarsen_levels,
         "coarsen_compare": coarsen_vs_reference,
@@ -618,7 +679,7 @@ fn main() {
 
     let injected = apply_injection(&mut measured);
     let doc = serde_json::json!({
-        "schema": 5,
+        "schema": 6,
         "mode": if smoke { "smoke" } else { "full" },
         "threads": threads,
         "calibration_s": calibration_s,

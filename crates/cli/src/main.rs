@@ -4,6 +4,7 @@
 //! gp partition --input graph.metis --k 4 --rmax 165 --bmax 16 [--format metis|matrix|json|ppn]
 //!              [--backend gp|rb|kway|metis|hyper] [--model edge|hyper] [--seed N]
 //!              [--baseline] [--dot out.dot] [--out partition.json]
+//!              [--trace out.json] [--trace-format jsonl|chrome|summary] [--verbose]
 //! gp backends          # list the registered partitioner backends
 //! gp demo [1|2|3]      # run a paper experiment instance across every backend
 //! gp gen --nodes N --edges M --seed S > graph.metis
@@ -18,7 +19,7 @@
 //! backends on other formats see the degenerate 2-pin embedding.
 
 use ppn_backend::{
-    backend_by_name, backend_names, backends, robust_partition, validate_instance, Budget,
+    backend_by_name, backend_names, backends, robust_partition, trace, validate_instance, Budget,
     Completion, CostModel, PartitionError, PartitionInstance,
 };
 use ppn_graph::io::dot::{to_dot, DotOptions};
@@ -31,7 +32,7 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  gp partition --input FILE --k K --rmax R --bmax B \\\n      [--format metis|matrix|json|ppn] [--backend {} or a,b,... fallback chain] \\\n      [--model edge|hyper] [--seed N] [--budget-ms N] [--baseline] [--dot FILE] [--out FILE]\n  gp backends\n  gp demo [1|2|3]\n  gp gen --nodes N --edges M [--seed S]\n  gp gen --multicast --stars S --fanout F [--seed N]",
+        "usage:\n  gp partition --input FILE --k K --rmax R --bmax B \\\n      [--format metis|matrix|json|ppn] [--backend {} or a,b,... fallback chain] \\\n      [--model edge|hyper] [--seed N] [--budget-ms N] [--baseline] [--dot FILE] [--out FILE] \\\n      [--trace FILE] [--trace-format jsonl|chrome|summary] [--verbose]\n  gp backends\n  gp demo [1|2|3]\n  gp gen --nodes N --edges M [--seed S]\n  gp gen --multicast --stars S --fanout F [--seed N]",
         backend_names().join("|")
     );
     ExitCode::from(2)
@@ -162,6 +163,24 @@ fn cmd_partition(args: &[String]) -> ExitCode {
             }
         },
     };
+    let verbose = has_flag(args, "--verbose");
+    let trace_path = arg_value(args, "--trace");
+    let trace_format = match arg_value(args, "--trace-format") {
+        None => trace::TraceFormat::Chrome,
+        Some(s) => {
+            if trace_path.is_none() {
+                eprintln!("error: --trace-format needs --trace FILE");
+                return usage();
+            }
+            match s.parse::<trace::TraceFormat>() {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            }
+        }
+    };
     let want_hyper = model == "hyper" || backend.cost_model() == CostModel::Connectivity;
     let loaded = match load_instance(&input, &format, want_hyper) {
         Ok(i) => i,
@@ -193,6 +212,10 @@ fn cmd_partition(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if trace_path.is_some() {
+        trace::start(trace::TraceConfig::default());
+    }
+    let mut attempts: Vec<ppn_backend::BackendAttempt> = Vec::new();
     let outcome = if chain.len() > 1 {
         match robust_partition(&inst, seed, &budget, &chain) {
             Ok(r) => {
@@ -206,6 +229,7 @@ fn cmd_partition(args: &[String]) -> ExitCode {
                 if r.fell_back() {
                     eprintln!("note: served by `{}`", r.served_by);
                 }
+                attempts = r.attempts;
                 r.outcome
             }
             Err(e) => {
@@ -222,6 +246,33 @@ fn cmd_partition(args: &[String]) -> ExitCode {
             }
         }
     };
+    // stop + write the trace immediately so a later output failure
+    // still leaves the trace on disk
+    if let Some(path) = &trace_path {
+        let session = trace::stop();
+        if let Err(e) = std::fs::write(path, session.render(trace_format)) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote trace {path} ({} events)", session.event_count());
+    }
+    if verbose {
+        for (i, a) in attempts.iter().enumerate() {
+            match &a.error {
+                Some(e) => eprintln!(
+                    "attempt {i}: backend={} seconds={:.3} error: {e}",
+                    a.backend, a.seconds
+                ),
+                None => eprintln!(
+                    "attempt {i}: backend={} seconds={:.3} served",
+                    a.backend, a.seconds
+                ),
+            }
+        }
+        for t in &outcome.timings {
+            eprintln!("phase {:<8} {:.3}s", t.phase, t.seconds);
+        }
+    }
     if let Completion::Degraded { phase, reason } = &outcome.completion {
         eprintln!("warning: budget cut the run short in {phase}: {reason}");
     }

@@ -345,6 +345,160 @@ fn hyper_model_works_on_graph_formats() {
 }
 
 #[test]
+fn trace_chrome_output_is_valid_trace_event_json() {
+    let dir = temp_dir("trace-chrome");
+    let graph_path = dir.join("graph.metis");
+    let trace_path = dir.join("trace.json");
+    let gen = gp()
+        .args(["gen", "--nodes", "300", "--edges", "900", "--seed", "9"])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    std::fs::write(&graph_path, &gen.stdout).unwrap();
+
+    let run = gp()
+        .args([
+            "partition",
+            "--backend",
+            "gp,rb",
+            "--input",
+            graph_path.to_str().unwrap(),
+            "--k",
+            "4",
+            "--rmax",
+            "100000",
+            "--bmax",
+            "100000",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--trace-format",
+            "chrome",
+            "--verbose",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    let stderr = String::from_utf8_lossy(&run.stderr);
+    assert!(run.status.success(), "stderr: {stderr}");
+    assert!(stdout.contains("wrote trace"), "got: {stdout}");
+    // --verbose prints the robust_partition attempt ledger
+    assert!(stderr.contains("attempt 0: backend=gp"), "got: {stderr}");
+    assert!(stderr.contains("phase"), "got: {stderr}");
+
+    // the file parses as chrome trace_event JSON: an object with a
+    // non-empty traceEvents array, balanced B/E, nested cycle→level
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("chrome trace parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace must not be empty");
+    let ph = |e: &serde_json::Value| e.get("ph").and_then(|p| p.as_str()).unwrap().to_string();
+    let begins = events.iter().filter(|e| ph(e) == "B").count();
+    let ends = events.iter().filter(|e| ph(e) == "E").count();
+    assert_eq!(begins, ends, "unbalanced span events");
+    assert!(begins > 0, "no spans recorded");
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| ph(e) == "B")
+        .map(|e| e.get("name").and_then(|n| n.as_str()).unwrap())
+        .collect();
+    for expected in ["chain", "partition", "cycle", "level", "pass"] {
+        assert!(names.contains(&expected), "missing span `{expected}`");
+    }
+    for e in events {
+        assert!(e.get("pid").is_some() && e.get("tid").is_some(), "{e:?}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_jsonl_and_summary_formats_render() {
+    let dir = temp_dir("trace-fmt");
+    let graph_path = dir.join("graph.metis");
+    let gen = gp()
+        .args(["gen", "--nodes", "32", "--edges", "80", "--seed", "4"])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    std::fs::write(&graph_path, &gen.stdout).unwrap();
+    let base = |trace: &str, fmt: &str| {
+        vec![
+            "partition".to_string(),
+            "--input".to_string(),
+            graph_path.to_str().unwrap().to_string(),
+            "--k".to_string(),
+            "3".to_string(),
+            "--rmax".to_string(),
+            "100000".to_string(),
+            "--bmax".to_string(),
+            "100000".to_string(),
+            "--trace".to_string(),
+            trace.to_string(),
+            "--trace-format".to_string(),
+            fmt.to_string(),
+        ]
+    };
+
+    // jsonl: every line is a JSON object, first line is the meta record
+    let jsonl_path = dir.join("trace.jsonl");
+    let run = gp()
+        .args(base(jsonl_path.to_str().unwrap(), "jsonl"))
+        .output()
+        .unwrap();
+    assert!(
+        run.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let text = std::fs::read_to_string(&jsonl_path).unwrap();
+    let mut lines = text.lines();
+    let meta: serde_json::Value = serde_json::from_str(lines.next().unwrap()).unwrap();
+    assert!(meta.get("meta").is_some(), "first jsonl line is meta");
+    let mut events = 0usize;
+    for line in lines {
+        let v: serde_json::Value = serde_json::from_str(line).expect(line);
+        assert!(v.get("ph").is_some(), "event line missing ph: {line}");
+        events += 1;
+    }
+    assert!(events > 0, "jsonl trace has no events");
+
+    // summary: human-readable aggregate with span and counter totals
+    let summary_path = dir.join("trace.txt");
+    let run = gp()
+        .args(base(summary_path.to_str().unwrap(), "summary"))
+        .output()
+        .unwrap();
+    assert!(run.status.success());
+    let text = std::fs::read_to_string(&summary_path).unwrap();
+    assert!(text.starts_with("trace summary:"), "got: {text}");
+    assert!(text.contains("spans:"), "got: {text}");
+    assert!(text.contains("gp/partition"), "got: {text}");
+
+    // --trace-format without --trace is a usage error
+    let run = gp()
+        .args([
+            "partition",
+            "--input",
+            graph_path.to_str().unwrap(),
+            "--k",
+            "3",
+            "--rmax",
+            "100000",
+            "--bmax",
+            "100000",
+            "--trace-format",
+            "chrome",
+        ])
+        .output()
+        .unwrap();
+    assert!(!run.status.success(), "--trace-format alone must fail");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let run = gp().arg("frobnicate").output().unwrap();
     assert!(!run.status.success());

@@ -47,6 +47,7 @@ use ppn_graph::budget::Budget;
 use ppn_graph::contract::{contract_reference, contract_with, CoarseMap, ContractScratch};
 use ppn_graph::matching::{random_maximal_matching, Matching};
 use ppn_graph::prng::derive_seed;
+use ppn_graph::trace;
 use ppn_graph::{GraphView, WeightedGraph};
 use std::borrow::Cow;
 
@@ -192,9 +193,10 @@ pub fn best_matching_in<G: GraphView>(
         f64,
     );
     let score = |(i, kind): (usize, MatchingKind)| -> Scored {
-        let t0 = std::time::Instant::now();
+        // runs on a rayon worker when parallel: thread-id-tagged span
+        let sp = trace::timed_span("gp", "matching_entrant", i as i64);
         let m = run_matching_prepared(kind, g, derive_seed(seed, i as u64), edges, backend);
-        let seconds = t0.elapsed().as_secs_f64();
+        let seconds = sp.finish();
         let absorbed = match backend {
             CoarsenBackend::Optimized => m.absorbed(),
             CoarsenBackend::Reference => m.absorbed_weight(g),
@@ -271,6 +273,9 @@ impl GpHierarchy<'_> {
 
 /// Per-level coarsening statistics reported to the observer of
 /// [`gp_coarsen_observed`] — what the perf harness records per PR.
+/// The timing fields are populated from the same `timed_span` sites
+/// that emit `gp:matching` / `gp:contract` trace spans, so this
+/// callback is effectively a per-level consumer of those spans.
 #[derive(Clone, Debug)]
 pub struct LevelTiming {
     /// Level index (0 = finest).
@@ -530,8 +535,10 @@ pub fn gp_coarsen_flat_budgeted_observed(
     let mut round = 0u64;
     let mut cut_short: Option<String> = None;
     while arena.top().num_nodes() > coarsen_to {
+        let _lvl = trace::span("gp", "coarsen_level", round as i64);
         let top = arena.num_levels() - 1;
         let (fine_nodes, fine_edges) = (arena.level_nodes(top), arena.level_edges(top));
+        trace::counter("gp", "budget_checkpoint", 1);
         if !budget.allows_coarsen_level(round as usize) {
             cut_short = Some(format!("coarsen level cap reached at level {round}"));
             break;
@@ -546,7 +553,7 @@ pub fn gp_coarsen_flat_budgeted_observed(
             ));
             break;
         }
-        let t0 = std::time::Instant::now();
+        let sp = trace::timed_span("gp", "matching", round as i64);
         let (kind, m, heuristics) = {
             let view = arena.top();
             best_matching_in(
@@ -557,13 +564,15 @@ pub fn gp_coarsen_flat_budgeted_observed(
                 CoarsenBackend::Optimized,
             )
         };
-        let matching_s = t0.elapsed().as_secs_f64();
+        let matching_s = sp.finish();
         let coarse_nodes = m.coarse_node_count();
         if coarse_nodes as f64 > fine_nodes as f64 * 0.95 {
+            trace::counter("gp", "matching_stall", 1);
             break; // stalled (e.g. star graphs) — same rule as the Cow loop
         }
-        let t1 = std::time::Instant::now();
+        let sp = trace::timed_span("gp", "contract", round as i64);
         let cn = arena.contract_top(&m);
+        let contract_s = sp.finish();
         observe(&LevelTiming {
             level: round as usize,
             fine_nodes,
@@ -571,11 +580,14 @@ pub fn gp_coarsen_flat_budgeted_observed(
             coarse_nodes: cn,
             matching_kind: kind,
             matching_s,
-            contract_s: t1.elapsed().as_secs_f64(),
+            contract_s,
             heuristics,
         });
         winners.push(kind);
         round += 1;
+    }
+    if let Some(reason) = &cut_short {
+        trace::instant_label("gp", "coarsen_cut_short", round as i64, reason);
     }
     (FlatHierarchy { arena, winners }, cut_short)
 }

@@ -21,8 +21,8 @@ use ppn_graph::budget::{Budget, Degradation};
 use ppn_graph::faultpoint::fault_point;
 use ppn_graph::metrics::PartitionQuality;
 use ppn_graph::prng::derive_seed;
+use ppn_graph::trace;
 use ppn_graph::{Constraints, Partition, WeightedGraph};
-use std::time::Instant;
 
 /// Refine `p` upward through arena levels `from..to` (finest-first
 /// indexing, iterated coarse→fine). On entry `p` lives on the graph
@@ -49,8 +49,10 @@ fn refine_up(
     degraded: &mut Option<Degradation>,
 ) -> Partition {
     for i in range.rev() {
+        let _lvl = trace::span("gp", "level", i as i64);
         p = p.project(hier.map(i));
         let level = hier.level(i).csr_view();
+        trace::counter("gp", "budget_checkpoint", 1);
         if !budget.is_unlimited()
             && (budget.expired() || !budget.admits_work(level.num_edges() as u64))
         {
@@ -103,6 +105,7 @@ pub fn gp_partition_budgeted(
     assert!(k >= 1, "k must be at least 1");
     assert!(g.num_nodes() > 0, "cannot partition an empty graph");
 
+    let _run = trace::span("gp", "partition", g.num_nodes() as i64);
     let mut best: Option<((u64, u64, u64), Partition)> = None;
     let mut trace: Vec<CycleTrace> = Vec::new();
     let mut cycles_used = 0;
@@ -111,6 +114,8 @@ pub fn gp_partition_budgeted(
     let matchings = params.effective_matchings();
 
     'cycles: for cycle in 0..params.max_cycles.max(1) {
+        let _cyc = trace::span("gp", "cycle", cycle as i64);
+        trace::counter("gp", "budget_checkpoint", 1);
         if cycle > 0 && budget.expired() {
             degraded.get_or_insert_with(|| {
                 Degradation::new("cycle", format!("deadline expired after {cycle} cycle(s)"))
@@ -145,10 +150,10 @@ pub fn gp_partition_budgeted(
         // randomly, cyclically") — built in the flat level arena; the
         // Cow-based gp_coarsen survives as the property-test oracle
         fault_point("gp", "coarsen");
-        let t0 = Instant::now();
+        let sp = trace::timed_span("gp", "coarsen", cycle as i64);
         let (hier, coarsen_cut_short) =
             gp_coarsen_flat_budgeted(g, &matchings, params.coarsen_to, cycle_seed, budget);
-        phases.coarsen_s += t0.elapsed().as_secs_f64();
+        phases.coarsen_s += sp.finish();
         if let Some(reason) = coarsen_cut_short {
             degraded.get_or_insert_with(|| Degradation::new("coarsen", reason));
         }
@@ -193,6 +198,8 @@ pub fn gp_partition_budgeted(
         let attempts = params.intermediate_attempts.max(1);
         let mut candidates: Vec<((u64, u64, u64), Partition)> = Vec::with_capacity(attempts);
         for attempt in 0..attempts {
+            let _att = trace::span("gp", "attempt", attempt as i64);
+            trace::counter("gp", "budget_checkpoint", 1);
             if attempt > 0 && budget.expired() {
                 degraded.get_or_insert_with(|| {
                     Degradation::new(
@@ -203,7 +210,7 @@ pub fn gp_partition_budgeted(
                 break;
             }
             let attempt_seed = derive_seed(cycle_seed, attempt as u64);
-            let t0 = Instant::now();
+            let sp = trace::timed_span("gp", "initial", attempt as i64);
             let p0 = greedy_initial_partition(
                 &coarsest,
                 k,
@@ -215,9 +222,9 @@ pub fn gp_partition_budgeted(
                     parallel: params.parallel,
                 },
             );
-            phases.initial_s += t0.elapsed().as_secs_f64();
+            phases.initial_s += sp.finish();
             // refine from the coarsest up to the intermediate level
-            let t0 = Instant::now();
+            let sp = trace::timed_span("gp", "refine", attempt as i64);
             let p_mid = refine_up(
                 &hier,
                 mid..levels,
@@ -228,7 +235,7 @@ pub fn gp_partition_budgeted(
                 budget,
                 &mut degraded,
             );
-            phases.refine_s += t0.elapsed().as_secs_f64();
+            phases.refine_s += sp.finish();
             // level `mid` exists for every mid <= levels (level `levels`
             // is the coarsest); measure it straight off the arena slice
             let goodness = PartitionQuality::measure_csr(hier.level(mid).csr_view(), &p_mid)
@@ -259,7 +266,7 @@ pub fn gp_partition_budgeted(
 
         // continue the winner to the top
         fault_point("gp", "refine");
-        let t0 = Instant::now();
+        let sp = trace::timed_span("gp", "refine", -1);
         let p_top = refine_up(
             &hier,
             0..mid,
@@ -270,7 +277,7 @@ pub fn gp_partition_budgeted(
             budget,
             &mut degraded,
         );
-        phases.refine_s += t0.elapsed().as_secs_f64();
+        phases.refine_s += sp.finish();
         let quality = PartitionQuality::measure(g, &p_top);
         let goodness = quality.goodness_key(c.rmax, c.bmax);
 
@@ -287,6 +294,9 @@ pub fn gp_partition_budgeted(
         }
     }
 
+    if let Some(d) = &degraded {
+        trace::instant_label("gp", "degraded", 0, &format!("{}: {}", d.phase, d.reason));
+    }
     let (_, partition) = best.expect("at least one cycle ran");
     let quality = PartitionQuality::measure(g, &partition);
     let report = c.check_quality(&quality);

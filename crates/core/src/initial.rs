@@ -21,6 +21,7 @@
 use crate::refine::{constrained_refine, RefineOptions};
 use ppn_graph::metrics::PartitionQuality;
 use ppn_graph::prng::{derive_seed, XorShift128Plus};
+use ppn_graph::trace;
 use ppn_graph::{Constraints, NodeId, Partition, WeightedGraph};
 
 #[cfg(feature = "parallel")]
@@ -140,6 +141,8 @@ fn run_restart(
     opts: &InitialOptions,
     r: usize,
 ) -> (Goodness, Partition) {
+    // runs on a rayon worker when parallel: thread-id-tagged span
+    let _sp = trace::span("gp", "restart", r as i64);
     let seed = derive_seed(opts.seed, r as u64);
     let first = if r == 0 {
         g.node_ids()

@@ -58,6 +58,7 @@
 
 use ppn_graph::metrics::{part_weights_csr, CutMatrix};
 use ppn_graph::prng::{derive_seed, XorShift128Plus};
+use ppn_graph::trace;
 use ppn_graph::{Boundary, Constraints, Csr, CsrView, NodeId, Partition, WeightedGraph};
 
 #[cfg(feature = "parallel")]
@@ -475,7 +476,9 @@ impl<'a> RefineEngine<'a> {
         v: NodeId,
         protect_nonempty: bool,
     ) -> bool {
-        if let Some((_, t)) = self.best_move_for(p, c, v, protect_nonempty) {
+        if let Some((d, t)) = self.best_move_for(p, c, v, protect_nonempty) {
+            trace::hist("refine", "gain_dcut", d.dcut);
+            trace::hist("refine", "gain_dviol", d.dviol);
             self.apply(p, v, t);
             true
         } else {
@@ -721,15 +724,20 @@ fn refine_entry(
     let mut active: Vec<NodeId> = Vec::new();
     let mut total_moves = 0;
 
-    for _ in 0..opts.max_passes {
+    for pass in 0..opts.max_passes {
+        let _sp = trace::span("refine", "pass", pass as i64);
         engine.collect_active(p, c, &mut active);
         rng.shuffle(&mut active);
+        trace::counter("refine", "boundary_nodes", active.len() as u64);
+        trace::counter("refine", "moves_evaluated", active.len() as u64);
         let mut moves = 0;
         if parallel {
             // frozen-eval in parallel, commit serially in visit order;
             // the first commit re-validates against an unchanged state,
             // so a non-empty candidate set always yields >= 1 move
+            let frozen = trace::span("refine", "frozen_eval", active.len() as i64);
             let candidates = engine.frozen_candidates(p, c, &active, opts.protect_nonempty);
+            drop(frozen);
             for (&v, &is_candidate) in active.iter().zip(&candidates) {
                 if is_candidate && engine.try_best_move(p, c, v, opts.protect_nonempty) {
                     moves += 1;
@@ -743,6 +751,8 @@ fn refine_entry(
             }
         }
         total_moves += moves;
+        trace::counter("refine", "moves_committed", moves as u64);
+        trace::counter("refine", "moves_rejected", (active.len() - moves) as u64);
         if moves == 0 {
             // single moves exhausted: when resources are still violated,
             // try pairwise exchanges — tight packings (every part close
@@ -750,6 +760,7 @@ fn refine_entry(
             // overshoots the receiving part
             let swaps = engine.swap_pass(p, c);
             total_moves += swaps;
+            trace::counter("refine", "swap_moves", swaps as u64);
             if swaps == 0 {
                 break;
             }

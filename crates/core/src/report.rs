@@ -29,9 +29,14 @@ pub struct CycleTrace {
 }
 
 /// Wall-clock seconds spent in each GP phase, summed over every cycle
-/// and attempt of a run. Timings are measured, not derived — two runs
-/// with the same seed produce identical partitions but different
-/// timings, so equality of results must ignore this field.
+/// and attempt of a run. Since the trace subsystem landed this is a
+/// *view*: each field is accumulated from the same `timed_span` sites
+/// that emit `ppn_graph::trace` spans (`gp:coarsen`, `gp:initial`,
+/// `gp:refine`), so a trace session's span totals and these sums agree
+/// to within clock-read jitter. Timings are measured, not derived from
+/// the result — two runs with the same seed produce identical
+/// partitions but different timings, so equality of results must
+/// ignore this field.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct PhaseSeconds {
     /// Coarsening (matching tournament + contraction).

@@ -15,6 +15,7 @@ use crate::metrics::HyperQuality;
 use crate::refine::{hyper_refine, HyperRefineOptions};
 use ppn_graph::faultpoint::fault_point;
 use ppn_graph::prng::derive_seed;
+use ppn_graph::trace;
 use ppn_graph::{Budget, ConstraintReport, Constraints, Degradation, Partition};
 use serde::{Deserialize, Serialize};
 
@@ -102,9 +103,11 @@ fn refine_up(
     degraded: &mut Option<Degradation>,
 ) -> Partition {
     for (i, level) in hier.levels.iter().enumerate().rev() {
+        let _lvl = trace::span("hyper", "level", i as i64);
         p = p.project(&level.map);
         // Projection must continue to the finest hypergraph even after
         // the deadline — only the (optional) refinement work is skipped.
+        trace::counter("hyper", "budget_checkpoint", 1);
         if !budget.is_unlimited()
             && (budget.expired() || !budget.admits_work(level.fine.num_pins() as u64))
         {
@@ -156,10 +159,13 @@ pub fn hyper_partition_budgeted(
     assert!(k >= 1, "k must be at least 1");
     assert!(hg.num_nodes() > 0, "cannot partition an empty hypergraph");
 
+    let _run = trace::span("hyper", "partition", hg.num_nodes() as i64);
     let mut best: Option<((u64, u64, u64), Partition)> = None;
     let mut cycles_used = 0;
     let mut degraded: Option<Degradation> = None;
     for cycle in 0..params.max_cycles.max(1) {
+        let _cyc = trace::span("hyper", "cycle", cycle as i64);
+        trace::counter("hyper", "budget_checkpoint", 1);
         if cycle > 0 && !budget.is_unlimited() && budget.expired() {
             degraded.get_or_insert_with(|| {
                 Degradation::new("cycle", format!("deadline expired after {cycle} cycle(s)"))
@@ -192,8 +198,11 @@ pub fn hyper_partition_budgeted(
         }
 
         fault_point("hyper", "coarsen");
+        let sp = trace::span("hyper", "coarsen", cycle as i64);
         let hier = hyper_coarsen(hg, params.coarsen_to, cycle_seed);
+        drop(sp);
         fault_point("hyper", "initial");
+        let sp = trace::span("hyper", "initial", cycle as i64);
         let p0 = greedy_hyper_initial(
             hier.coarsest(),
             k,
@@ -204,7 +213,9 @@ pub fn hyper_partition_budgeted(
                 seed: cycle_seed,
             },
         );
+        drop(sp);
         fault_point("hyper", "refine");
+        let sp = trace::span("hyper", "refine", cycle as i64);
         let p_top = refine_up(
             &hier,
             p0,
@@ -214,6 +225,7 @@ pub fn hyper_partition_budgeted(
             budget,
             &mut degraded,
         );
+        drop(sp);
         let goodness = HyperQuality::measure(hg, &p_top).goodness_key(c.rmax, c.bmax);
         let is_better = best.as_ref().map(|(bg, _)| goodness < *bg).unwrap_or(true);
         if is_better {

@@ -79,10 +79,14 @@ pub fn kway_partition(g: &WeightedGraph, k: usize, opts: &MetisOptions) -> KwayR
 
     // 1. coarsen
     ppn_graph::faultpoint::fault_point("metis", "kway");
+    let _run = ppn_graph::trace::span("metis", "kway", n as i64);
+    let sp = ppn_graph::trace::span("metis", "coarsen", n as i64);
     let hierarchy = coarsen_hierarchy(g, opts.coarsen_to.max(2 * k), opts.seed);
     let coarsest = hierarchy.coarsest();
+    drop(sp);
 
     // 2. initial partitioning on the coarsest graph
+    let sp = ppn_graph::trace::span("metis", "initial", coarsest.num_nodes() as i64);
     let mut part = recursive_bisection(coarsest, k, opts.ufactor, derive_seed(opts.seed, 0x1217));
     let refine_opts = |graph: &WeightedGraph, stream: u64| KwayOptions {
         max_part_weight: vec![
@@ -96,9 +100,12 @@ pub fn kway_partition(g: &WeightedGraph, k: usize, opts: &MetisOptions) -> KwayR
         protect_nonempty: true,
     };
     kway_refine(coarsest, &mut part, &refine_opts(coarsest, 0xF0));
+    drop(sp);
 
     // 3. project back through the hierarchy, refining at each level
+    let _ref = ppn_graph::trace::span("metis", "refine", hierarchy.levels.len() as i64);
     for (i, level) in hierarchy.levels.iter().enumerate().rev() {
+        let _lvl = ppn_graph::trace::span("metis", "level", i as i64);
         part = part.project(&level.map.map);
         kway_refine(
             &level.fine,

@@ -37,8 +37,8 @@ use ppn_graph::budget::{Budget, Degradation};
 use ppn_graph::faultpoint::fault_point;
 use ppn_graph::metrics::{CutMatrix, PartitionQuality};
 use ppn_graph::prng::derive_seed;
+use ppn_graph::trace;
 use ppn_graph::{ConstraintReport, Constraints, NodeId, Partition, WeightedGraph};
-use std::time::Instant;
 
 /// Parameters of [`rb_partition`].
 #[derive(Clone, Debug)]
@@ -246,6 +246,7 @@ fn rb_recurse(
     // Deadline check at subproblem entry: an expired budget fills the
     // remaining subtree with the O(n) contiguous split instead of
     // bisecting it — complete and weight-balanced, no claim on the cut.
+    trace::counter("rb", "budget_checkpoint", 1);
     if !time_budget.is_unlimited()
         && (time_budget.expired() || !time_budget.admits_work(nodes.len() as u64))
     {
@@ -266,15 +267,16 @@ fn rb_recurse(
         return;
     }
     fault_point("rb", "bisect");
+    let _sp = trace::span("rb", "bisect", k as i64);
     let (sub, back) = induced_subgraph(g, nodes);
     let sub_seed = derive_seed(seed, part_base as u64 ^ (k as u64) << 20);
 
     // multilevel: coarsen the subproblem once (the hierarchy is
     // shape-independent), bisect the coarsest graph
     fault_point("rb", "coarsen");
-    let t0 = Instant::now();
+    let sp = trace::timed_span("rb", "coarsen", nodes.len() as i64);
     let hier = gp_coarsen(&sub, &params.matchings, params.coarsen_to.max(4), sub_seed);
-    phases.coarsen_s += t0.elapsed().as_secs_f64();
+    phases.coarsen_s += sp.finish();
 
     // split shapes, best-first: the balanced `⌈k/2⌉ | ⌊k/2⌋` split, and
     // — only when every balanced candidate leaves a violation — the
@@ -295,7 +297,7 @@ fn rb_recurse(
         // through this split: k0·k1 links of capacity Bmax (exact at
         // leaf splits, where the pair's final traffic *is* this cut)
         let cut_budget = c.bmax.saturating_mul(k0 as u64 * k1 as u64);
-        let t0 = Instant::now();
+        let sp = trace::timed_span("rb", "bisect_candidates", k0 as i64);
         let mut plain = Some(bisect_candidates(
             hier.coarsest(),
             &BisectOptions {
@@ -308,7 +310,7 @@ fn rb_recurse(
                 max_cut: Some(cut_budget),
             },
         ));
-        phases.initial_s += t0.elapsed().as_secs_f64();
+        phases.initial_s += sp.finish();
 
         // best-first branch over distinct candidates: the first subtree
         // whose splits all meet their budgets wins immediately, so easy
@@ -330,7 +332,7 @@ fn rb_recurse(
             } else if *budget == 0 {
                 break; // backtracking budget exhausted: keep the best so far
             } else {
-                let t0 = Instant::now();
+                let sp = trace::timed_span("rb", "grouping_candidates", k as i64);
                 let p_init = greedy_initial_partition(
                     hier.coarsest(),
                     k,
@@ -342,7 +344,7 @@ fn rb_recurse(
                         parallel: false,
                     },
                 );
-                phases.initial_s += t0.elapsed().as_secs_f64();
+                phases.initial_s += sp.finish();
                 let n_coarse = hier.coarsest().num_nodes();
                 part_groupings(k, k0)
                     .into_iter()
@@ -381,7 +383,7 @@ fn rb_recurse(
                 }
                 // carry the candidate back up through the hierarchy,
                 // FM-refining under the caps unless structure-preserving
-                let t0 = Instant::now();
+                let sp = trace::timed_span("rb", "fm_refine", k0 as i64);
                 let mut p2 = p0;
                 for level in hier.levels.iter().rev() {
                     p2 = p2.project(&level.map.map);
@@ -397,7 +399,7 @@ fn rb_recurse(
                         );
                     }
                 }
-                phases.refine_s += t0.elapsed().as_secs_f64();
+                phases.refine_s += sp.finish();
 
                 let mut side0 = Vec::new();
                 let mut side1 = Vec::new();
@@ -489,6 +491,7 @@ pub fn rb_partition_budgeted(
 ) -> Result<RbResult, Box<RbInfeasible>> {
     assert!(k >= 1, "k must be at least 1");
     let n = g.num_nodes();
+    let _run = trace::span("rb", "partition", n as i64);
     let mut phases = PhaseSeconds::default();
     if n == 0 {
         let partition = Partition::unassigned(0, k);
@@ -519,6 +522,8 @@ pub fn rb_partition_budgeted(
         params.max_cycles.max(1)
     };
     for cycle in 0..cycles {
+        let _cyc = trace::span("rb", "cycle", cycle as i64);
+        trace::counter("rb", "budget_checkpoint", 1);
         if cycle > 0 && time_budget.expired() {
             degraded.get_or_insert_with(|| {
                 Degradation::new("cycle", format!("deadline expired after {cycle} cycle(s)"))
@@ -554,7 +559,7 @@ pub fn rb_partition_budgeted(
         // the contiguous fill is already the best we can afford.
         fault_point("rb", "refine");
         if time_budget.is_unlimited() || !time_budget.expired() {
-            let t0 = Instant::now();
+            let sp = trace::timed_span("rb", "kway_repair", cycle as i64);
             constrained_refine(
                 g,
                 &mut p,
@@ -565,7 +570,7 @@ pub fn rb_partition_budgeted(
                     protect_nonempty: true,
                 },
             );
-            phases.refine_s += t0.elapsed().as_secs_f64();
+            phases.refine_s += sp.finish();
         } else {
             degraded.get_or_insert_with(|| {
                 Degradation::new("refine", "deadline expired; skipping the Bmax repair pass")

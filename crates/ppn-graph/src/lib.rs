@@ -35,6 +35,7 @@ pub mod matching;
 pub mod metrics;
 pub mod partition;
 pub mod prng;
+pub mod trace;
 pub mod view;
 
 pub use arena::{LevelArena, LevelView};
