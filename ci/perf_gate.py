@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over BENCH_gp.json documents (schema 6).
+"""Perf-regression gate over BENCH_gp.json documents (schema 7).
 
 Usage: perf_gate.py BASELINE FRESH [--max-slowdown 1.4] [--min-time 0.02]
 
@@ -22,6 +22,12 @@ Schema 6 adds the ``trace`` block per workload: a rerun with the
 did not perturb the partition, that the gated row actually emitted
 events, and — on the same dedicated row — that armed collection costs
 less than ``TRACE_OVERHEAD_MAX`` of end-to-end time.
+
+Schema 7 adds the ``memory`` block per workload: a rerun under a byte
+ledger generous enough that nothing is shed. The gate asserts the
+bit-identity claim, that the ledger recorded a nonzero peak with zero
+shed bytes, and — on the dedicated row — that reservation accounting
+costs less than ``MEMORY_OVERHEAD_MAX`` of end-to-end time.
 
 Runner-speed differences are normalised away with the documents'
 ``calibration_s`` field (a fixed deterministic spin loop timed by the
@@ -49,6 +55,8 @@ BUDGET_GATE_ROW = "scaling-32768x16"
 BUDGET_OVERHEAD_MAX = 0.02
 # Armed trace collection is bounded on the same row, same reasoning.
 TRACE_OVERHEAD_MAX = 0.02
+# Memory-ledger reservation accounting is bounded on the same row too.
+MEMORY_OVERHEAD_MAX = 0.02
 
 
 def load(path):
@@ -57,8 +65,8 @@ def load(path):
 
 
 def assert_schema(doc, path):
-    """Schema-6 shape assertions (replaces the old schema-5 CI check)."""
-    assert doc.get("schema") == 6, f"{path}: schema {doc.get('schema')} != 6"
+    """Schema-7 shape assertions (replaces the old schema-6 CI check)."""
+    assert doc.get("schema") == 7, f"{path}: schema {doc.get('schema')} != 7"
     assert doc.get("workloads"), f"{path}: no scaling workloads"
     assert doc.get("hyper_workloads"), f"{path}: no hypergraph workloads"
     assert doc.get("calibration_s", 0) > 0, f"{path}: missing calibration_s"
@@ -77,6 +85,23 @@ def assert_schema(doc, path):
         )
         assert budgeted.get("degraded") is None, (
             f"{path}: {name}: an unexpired budget reported degradation"
+        )
+        mem = w.get("memory")
+        assert mem, f"{path}: {name}: no memory block"
+        assert mem.get("identical_partition") is True, (
+            f"{path}: {name}: ledgered run diverged from the unbudgeted one"
+        )
+        assert mem.get("degraded") is None, (
+            f"{path}: {name}: a generous memory ledger reported degradation"
+        )
+        assert mem.get("ledger_peak_bytes", 0) > 0, (
+            f"{path}: {name}: the ledger recorded no reservations"
+        )
+        assert mem.get("ledger_shed_bytes", 0) == 0, (
+            f"{path}: {name}: a generous ledger shed bytes"
+        )
+        assert mem.get("ledger_peak_bytes", 0) <= mem.get("limit_bytes", 0), (
+            f"{path}: {name}: ledger peak exceeds its own limit"
         )
         tr = w.get("trace")
         assert tr, f"{path}: {name}: no trace block"
@@ -112,6 +137,27 @@ def check_budget_overhead(doc, min_time):
                     f"{overhead * 100:.2f}% of end-to-end "
                     f"(limit {BUDGET_OVERHEAD_MAX * 100:.0f}%)")
         print(f"  {w['name']:<20} budget overhead {overhead * 100:+6.2f}%  {verdict}")
+    return failures
+
+
+def check_memory_overhead(doc, min_time):
+    """Bound the ledger-accounting cost on the dedicated row."""
+    failures = []
+    for w in doc["workloads"]:
+        mem = w["memory"]
+        overhead = mem["overhead_frac"]
+        gated = w["name"] == BUDGET_GATE_ROW and w["phases_s"]["end_to_end"] >= min_time
+        verdict = ""
+        if gated:
+            verdict = "FAIL" if overhead > MEMORY_OVERHEAD_MAX else "ok (gated)"
+            if overhead > MEMORY_OVERHEAD_MAX:
+                failures.append(
+                    f"{w['name']}: ledger accounting cost "
+                    f"{overhead * 100:.2f}% of end-to-end "
+                    f"(limit {MEMORY_OVERHEAD_MAX * 100:.0f}%)")
+        peak_mib = mem["ledger_peak_bytes"] / (1024 * 1024)
+        print(f"  {w['name']:<20} memory overhead {overhead * 100:+6.2f}%  "
+              f"ledger peak {peak_mib:8.1f} MiB  {verdict}")
     return failures
 
 
@@ -155,6 +201,8 @@ def main():
 
     print("budget-checkpoint overhead (fresh document):")
     overhead_failures = check_budget_overhead(fresh, args.min_time)
+    print("memory-ledger overhead (fresh document):")
+    overhead_failures += check_memory_overhead(fresh, args.min_time)
     print("armed-trace overhead (fresh document):")
     overhead_failures += check_trace_overhead(fresh, args.min_time)
     if overhead_failures:
@@ -163,11 +211,11 @@ def main():
             print(f"  - {f}")
         return 1
 
-    # schema-4/5 baselines predate the trace block (4 also the budgeted
-    # block) but their timing rows compare one-to-one; anything older
-    # has no comparable shape
-    if base.get("schema") not in (4, 5, 6):
-        print(f"note: baseline schema {base.get('schema')} not in (4, 5, 6) — "
+    # schema-4/5/6 baselines predate the memory block (6 also the trace
+    # block, 4 also the budgeted block) but their timing rows compare
+    # one-to-one; anything older has no comparable shape
+    if base.get("schema") not in (4, 5, 6, 7):
+        print(f"note: baseline schema {base.get('schema')} not in (4, 5, 6, 7) — "
               "shape-checked fresh document only, no timing comparison")
         return 0
 

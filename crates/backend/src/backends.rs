@@ -7,6 +7,7 @@ use gp_classic::bisect::recursive_bisection;
 use gp_classic::kway::{kway_refine, KwayOptions};
 use gp_core::{gp_partition_budgeted, GpParams};
 use metis_lite::{kway_partition, rb_partition_budgeted, MetisOptions, RbParams};
+use ppn_graph::faultpoint::alloc_fault;
 use ppn_graph::prng::derive_seed;
 use ppn_graph::trace;
 use ppn_graph::{Budget, Degradation, Partition};
@@ -15,16 +16,39 @@ use ppn_hyper::{hyper_partition_budgeted, HyperParams};
 /// Contiguous-fill fallback for budgetless engines (`kway`, `metis`)
 /// when the budget has already expired or cannot plausibly fit a run:
 /// a complete, balanced, zero-effort assignment marked degraded.
-fn degraded_fill(backend: &str, inst: &PartitionInstance, phase: &str) -> PartitionOutcome {
+fn degraded_fill(
+    backend: &str,
+    inst: &PartitionInstance,
+    phase: &str,
+    cause: &str,
+) -> PartitionOutcome {
     let p = Partition::contiguous_balanced(inst.graph.node_weights(), inst.k);
     PartitionOutcome::measure_edge(backend, &inst.graph, p, &inst.constraints, vec![])
         .with_completion(Completion::from_degradation(Some(Degradation::new(
             phase,
-            format!(
-                "deadline expired; contiguous fill over {} nodes",
-                inst.num_nodes()
-            ),
+            format!("{cause}; contiguous fill over {} nodes", inst.num_nodes()),
         ))))
+}
+
+/// Working-set bound for the budgetless flat/multilevel engines: both
+/// materialize per-node assignment state and per-edge scratch roughly
+/// twice over across their pipeline.
+fn flat_bytes_estimate(inst: &PartitionInstance) -> u64 {
+    2 * (inst.num_nodes() as u64 * 24 + inst.graph.num_edges() as u64 * 32)
+}
+
+/// Memory pre-flight for engines without internal ledger checkpoints:
+/// fires on an armed `alloc_fail` fault or a ledger that cannot admit
+/// the engine's working-set estimate. Estimate work is skipped entirely
+/// when no ledger is attached.
+fn memory_blocked(
+    engine: &'static str,
+    phase: &'static str,
+    inst: &PartitionInstance,
+    budget: &Budget,
+) -> bool {
+    alloc_fault(engine, phase)
+        || (budget.memory_ledger().is_some() && !budget.admits_bytes(flat_bytes_estimate(inst)))
 }
 
 /// Trivial outcome for the zero-node instance (every backend shares it:
@@ -185,10 +209,18 @@ impl Partitioner for KwayBackend {
         }
         let g = &inst.graph;
         let k = inst.k;
+        if memory_blocked(self.name(), "bisect", inst, budget) && !budget.cancelled() {
+            return degraded_fill(
+                self.name(),
+                inst,
+                "bisect",
+                "memory budget cannot fit the bisection working set",
+            );
+        }
         if !budget.is_unlimited()
             && (budget.expired() || !budget.admits_work(g.num_edges() as u64 * k as u64))
         {
-            return degraded_fill(self.name(), inst, "bisect");
+            return degraded_fill(self.name(), inst, "bisect", "deadline expired");
         }
         let _run = trace::span("kway", "partition", g.num_nodes() as i64);
         let sp = trace::timed_span("kway", "bisect", k as i64);
@@ -249,10 +281,21 @@ impl Partitioner for MetisBackend {
         budget: &Budget,
     ) -> PartitionOutcome {
         if inst.num_nodes() > 0
+            && memory_blocked(self.name(), "kway", inst, budget)
+            && !budget.cancelled()
+        {
+            return degraded_fill(
+                self.name(),
+                inst,
+                "kway",
+                "memory budget cannot fit the hierarchy working set",
+            );
+        }
+        if inst.num_nodes() > 0
             && !budget.is_unlimited()
             && (budget.expired() || !budget.admits_work(inst.graph.num_edges() as u64))
         {
-            return degraded_fill(self.name(), inst, "kway");
+            return degraded_fill(self.name(), inst, "kway", "deadline expired");
         }
         let sp = trace::timed_span("metis", "total", inst.num_nodes() as i64);
         let r = kway_partition(&inst.graph, inst.k, &self.options.clone().with_seed(seed));

@@ -12,6 +12,17 @@
 use crate::instance::PartitionInstance;
 use std::fmt;
 
+/// What exhausted a budget at a hard boundary (see
+/// [`PartitionError::BudgetExhausted`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExhaustKind {
+    /// The cancel flag was raised.
+    #[default]
+    Cancelled,
+    /// The memory ledger cannot admit the minimum working set.
+    Memory,
+}
+
 /// Why a partition request failed. Every variant carries enough context
 /// for a one-line diagnostic; none carries a backtrace.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -34,14 +45,18 @@ pub enum PartitionError {
         /// Why no feasible partition can exist / was found.
         reason: String,
     },
-    /// The budget's cancel flag was raised, so the caller no longer
-    /// wants an answer (deadline expiry degrades instead, it does not
-    /// error).
+    /// The budget was exhausted at a hard boundary: the cancel flag was
+    /// raised (the caller no longer wants an answer), or the memory
+    /// ledger cannot admit even the minimum working set. A mere deadline
+    /// expiry — and memory pressure an engine can shed by degrading —
+    /// does not error.
     BudgetExhausted {
-        /// Backend that observed the cancellation.
+        /// Backend that observed the exhaustion.
         backend: String,
-        /// Phase at which the cancellation was observed.
+        /// Phase at which the exhaustion was observed.
         phase: String,
+        /// What was exhausted (cancellation vs memory).
+        kind: ExhaustKind,
     },
     /// The engine panicked and the trait boundary's `catch_unwind`
     /// contained it.
@@ -75,11 +90,16 @@ impl fmt::Display for PartitionError {
             PartitionError::Infeasible { instance, reason } => {
                 write!(f, "infeasible instance `{instance}`: {reason}")
             }
-            PartitionError::BudgetExhausted { backend, phase } => {
-                write!(
-                    f,
-                    "budget exhausted: backend `{backend}` cancelled in {phase}"
-                )
+            PartitionError::BudgetExhausted {
+                backend,
+                phase,
+                kind,
+            } => {
+                let what = match kind {
+                    ExhaustKind::Cancelled => "cancelled",
+                    ExhaustKind::Memory => "out of memory",
+                };
+                write!(f, "budget exhausted: backend `{backend}` {what} in {phase}")
             }
             PartitionError::BackendPanicked { backend, message } => {
                 write!(f, "backend `{backend}` panicked: {message}")
@@ -227,6 +247,12 @@ mod tests {
             PartitionError::BudgetExhausted {
                 backend: "gp".into(),
                 phase: "refine".into(),
+                kind: ExhaustKind::Cancelled,
+            },
+            PartitionError::BudgetExhausted {
+                backend: "gp".into(),
+                phase: "start".into(),
+                kind: ExhaustKind::Memory,
             },
             PartitionError::BackendPanicked {
                 backend: "gp".into(),

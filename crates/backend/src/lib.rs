@@ -39,7 +39,7 @@ pub mod robust;
 pub mod suite;
 
 pub use backends::{GpBackend, HyperBackend, KwayBackend, MetisBackend, RbBackend};
-pub use error::{validate_instance, PartitionError};
+pub use error::{validate_instance, ExhaustKind, PartitionError};
 pub use instance::PartitionInstance;
 pub use outcome::{Completion, CostModel, CostReport, PartitionOutcome, PhaseTiming};
 pub use ppn_graph::{trace, Budget, Degradation};
@@ -106,6 +106,17 @@ pub trait Partitioner {
             return Err(PartitionError::BudgetExhausted {
                 backend: self.name().to_string(),
                 phase: "start".to_string(),
+                kind: error::ExhaustKind::Cancelled,
+            });
+        }
+        // Pre-flight the memory ledger before the engine allocates
+        // anything: a ledger that cannot admit even one byte per node
+        // cannot hold an assignment vector, let alone a hierarchy.
+        if !budget.admits_bytes(inst.num_nodes() as u64) {
+            return Err(PartitionError::BudgetExhausted {
+                backend: self.name().to_string(),
+                phase: "start".to_string(),
+                kind: error::ExhaustKind::Memory,
             });
         }
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -117,6 +128,7 @@ pub trait Partitioner {
                     return Err(PartitionError::BudgetExhausted {
                         backend: self.name().to_string(),
                         phase: "finish".to_string(),
+                        kind: error::ExhaustKind::Cancelled,
                     });
                 }
                 Ok(outcome)

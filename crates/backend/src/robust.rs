@@ -15,7 +15,7 @@
 //! [`PartitionError::InvalidInstance`] rather than being rejected k
 //! times in a row.
 
-use crate::error::{validate_instance, PartitionError};
+use crate::error::{validate_instance, ExhaustKind, PartitionError};
 use crate::instance::PartitionInstance;
 use crate::outcome::PartitionOutcome;
 use crate::registry::backend_by_name;
@@ -63,14 +63,21 @@ pub const DEFAULT_FALLBACK_CHAIN: &[&str] = &["gp", "rb", "metis"];
 /// Run `inst` through `chain` (backend names, in fallback order; empty
 /// means [`DEFAULT_FALLBACK_CHAIN`]) under one shared `budget`. Returns
 /// the first backend's outcome that survives the hardened boundary,
-/// along with the attempt ledger. Fails with:
+/// along with the attempt ledger. When the whole chain fails and a
+/// memory-kind [`PartitionError::BudgetExhausted`] was among the
+/// failures, the chain is retried once with
+/// [`Budget::with_reduced_footprint`] configs (fewer restarts, serial
+/// refinement, narrower recursion) — those shed attempts appear in the
+/// ledger as `{name}+reduced`. Fails with:
 ///
 /// * [`PartitionError::InvalidInstance`] — the instance is malformed
 ///   (checked once, before any backend runs);
 /// * [`PartitionError::UnknownBackend`] — a name in `chain` does not
 ///   resolve (configuration error, fail fast);
-/// * [`PartitionError::BudgetExhausted`] — the cancel flag was raised;
-/// * [`PartitionError::AllBackendsFailed`] — every backend errored.
+/// * [`PartitionError::BudgetExhausted`] — the cancel flag was raised
+///   (memory-kind exhaustions are recorded and the chain continues);
+/// * [`PartitionError::AllBackendsFailed`] — every backend errored,
+///   reduced-footprint retries included.
 pub fn robust_partition(
     inst: &PartitionInstance,
     seed: u64,
@@ -85,6 +92,54 @@ pub fn robust_partition(
     };
     let mut attempts: Vec<BackendAttempt> = Vec::with_capacity(chain.len());
     let _chain_sp = trace::span("robust", "chain", chain.len() as i64);
+    if let Some(r) = run_chain(inst, seed, budget, chain, &mut attempts, "")? {
+        return Ok(r);
+    }
+    // Every backend failed. When memory exhaustion was implicated,
+    // retry the chain once under reduced-footprint configs before
+    // giving up: a run that could not fit its full working set may
+    // well fit a slimmer one.
+    let memory_implicated = attempts.iter().any(|a| {
+        matches!(
+            a.error,
+            Some(PartitionError::BudgetExhausted {
+                kind: ExhaustKind::Memory,
+                ..
+            })
+        )
+    });
+    if memory_implicated && !budget.cancelled() {
+        trace::instant("robust", "reduced_footprint_retry", attempts.len() as i64);
+        let reduced = budget.clone().with_reduced_footprint();
+        if let Some(r) = run_chain(inst, seed, &reduced, chain, &mut attempts, "+reduced")? {
+            return Ok(r);
+        }
+    }
+    Err(PartitionError::AllBackendsFailed {
+        attempts: attempts
+            .into_iter()
+            .map(|a| {
+                (
+                    a.backend,
+                    a.error.map(|e| e.to_string()).unwrap_or_default(),
+                )
+            })
+            .collect(),
+    })
+}
+
+/// One walk of the fallback chain under `budget`. Returns the first
+/// surviving outcome (with the full ledger, `suffix` appended to this
+/// pass's entry names), `None` when every backend failed, or an error
+/// for unknown names and cancellation.
+fn run_chain(
+    inst: &PartitionInstance,
+    seed: u64,
+    budget: &Budget,
+    chain: &[&str],
+    attempts: &mut Vec<BackendAttempt>,
+    suffix: &str,
+) -> Result<Option<RobustOutcome>, PartitionError> {
     for (idx, &name) in chain.iter().enumerate() {
         let backend = backend_by_name(name).ok_or_else(|| PartitionError::UnknownBackend {
             name: name.to_string(),
@@ -103,41 +158,39 @@ pub fn robust_partition(
                 let served_by = outcome.backend.clone();
                 trace::instant("robust", "served", idx as i64);
                 attempts.push(BackendAttempt {
-                    backend: name.to_string(),
+                    backend: format!("{name}{suffix}"),
                     error: None,
                     seconds,
                 });
-                return Ok(RobustOutcome {
+                return Ok(Some(RobustOutcome {
                     outcome,
                     served_by,
-                    attempts,
-                });
+                    attempts: std::mem::take(attempts),
+                }));
             }
             // Cancellation is the caller saying "stop": do not burn the
-            // rest of the chain on an answer nobody wants.
-            Err(e @ PartitionError::BudgetExhausted { .. }) => return Err(e),
+            // rest of the chain on an answer nobody wants. Memory
+            // exhaustion is different — another backend (or a slimmer
+            // config) may still fit, so it is recorded and the walk
+            // continues.
+            Err(
+                e @ PartitionError::BudgetExhausted {
+                    kind: ExhaustKind::Cancelled,
+                    ..
+                },
+            ) => return Err(e),
             Err(e) => {
                 trace::instant_label("robust", "attempt_failed", idx as i64, &e.to_string());
                 trace::counter("robust", "fallback_attempts", 1);
                 attempts.push(BackendAttempt {
-                    backend: name.to_string(),
+                    backend: format!("{name}{suffix}"),
                     error: Some(e),
                     seconds,
                 });
             }
         }
     }
-    Err(PartitionError::AllBackendsFailed {
-        attempts: attempts
-            .into_iter()
-            .map(|a| {
-                (
-                    a.backend,
-                    a.error.map(|e| e.to_string()).unwrap_or_default(),
-                )
-            })
-            .collect(),
-    })
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -187,6 +240,24 @@ mod tests {
         let budget = Budget::unlimited().with_cancel(flag);
         let err = robust_partition(&inst(2), 7, &budget, &[]).unwrap_err();
         assert!(matches!(err, PartitionError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn memory_exhaustion_walks_chain_and_retries_reduced() {
+        // A 4-byte ledger cannot admit even the assignment vector, so
+        // every backend fails memory-kind at the boundary; the driver
+        // must walk the whole chain, retry it reduced, and only then
+        // give up — never short-circuit like cancellation does.
+        let budget = Budget::unlimited().with_max_bytes(4);
+        let err = robust_partition(&inst(2), 7, &budget, &[]).unwrap_err();
+        match err {
+            PartitionError::AllBackendsFailed { attempts } => {
+                assert_eq!(attempts.len(), 2 * DEFAULT_FALLBACK_CHAIN.len());
+                assert!(attempts.iter().any(|(b, _)| b == "gp+reduced"));
+                assert!(attempts.iter().all(|(_, e)| e.contains("out of memory")));
+            }
+            other => panic!("expected AllBackendsFailed, got {other:?}"),
+        }
     }
 
     #[test]

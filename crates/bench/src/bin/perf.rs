@@ -23,6 +23,12 @@
 //! cooperative budget checkpoints, asserted bit-identical here and
 //! bounded (<2% on the gated row) by `ci/perf_gate.py`.
 //!
+//! Another rerun attaches a 64 GiB memory ledger no run can bind: the
+//! recorded `memory.overhead_frac` is the pure cost of reservation
+//! accounting (also asserted bit-identical, also bounded <2% on the
+//! gated row), and `memory.ledger_peak_bytes` sits next to `VmHWM` so
+//! drift in the byte estimators is visible in every perf document.
+//!
 //! A third rerun arms the `ppn_graph::trace` collector: the recorded
 //! `trace.overhead_frac` is the full cost of span/counter/histogram
 //! collection on a real run (also asserted bit-identical, also bounded
@@ -339,6 +345,46 @@ fn measure(w: &Workload, reps: usize) -> serde_json::Value {
     );
     let budget_overhead_frac = budgeted_s / end_to_end_s.max(1e-9) - 1.0;
 
+    // -- memory-ledger overhead ----------------------------------------
+    //
+    // Same workload again under a byte ledger generous enough that
+    // nothing is ever shed: the extra cost is pure reservation
+    // accounting (CAS loops at level boundaries), the partition must
+    // stay bit-identical, and the ledger's recorded peak is written
+    // next to `VmHWM` so the estimators stay honest — a peak that
+    // drifts far from the real footprint means the byte model rotted.
+    const MEMORY_PROBE_LIMIT: u64 = 64 << 30; // 64 GiB, never binding
+    let mem_budget = Budget::unlimited().with_max_bytes(MEMORY_PROBE_LIMIT);
+    let (memory_s, memory_run) = time_best(reps, || {
+        match gp_partition_budgeted(&w.g, w.k, &w.cons, &params, &mem_budget) {
+            Ok(r) => r,
+            Err(e) => e.best,
+        }
+    });
+    assert_eq!(
+        memory_run.partition, unbudgeted.partition,
+        "{}: a generous memory ledger changed the partition",
+        w.name
+    );
+    assert!(
+        memory_run.degraded.is_none(),
+        "{}: a 64 GiB ledger reported degradation",
+        w.name
+    );
+    let ledger = mem_budget
+        .memory_ledger()
+        .expect("with_max_bytes attaches a ledger");
+    assert_eq!(
+        ledger.used(),
+        0,
+        "{}: {} ledger bytes leaked after the run",
+        w.name,
+        ledger.used()
+    );
+    let ledger_peak = ledger.peak();
+    let ledger_shed = ledger.shed();
+    let memory_overhead_frac = memory_s / end_to_end_s.max(1e-9) - 1.0;
+
     // -- armed-trace overhead ------------------------------------------
     //
     // Same workload again with the trace collector armed: spans at every
@@ -461,7 +507,7 @@ fn measure(w: &Workload, reps: usize) -> serde_json::Value {
     let edges_per_sec = edges as f64 / end_to_end_s.max(1e-9);
     let rss = peak_rss_bytes();
     println!(
-        "{:<18} n={:<7} coarsen {:>8.4}s  initial {:>8.4}s  refine-up {:>8.4}s  e2e {:>8.4}s  {:>10.0} edges/s  rss {:>6.1} MiB  budget +{:>5.2}%  trace +{:>5.2}% ({} ev)",
+        "{:<18} n={:<7} coarsen {:>8.4}s  initial {:>8.4}s  refine-up {:>8.4}s  e2e {:>8.4}s  {:>10.0} edges/s  rss {:>6.1} MiB  budget +{:>5.2}%  mem +{:>5.2}% (peak {:.1} MiB)  trace +{:>5.2}% ({} ev)",
         w.name,
         n,
         coarsen_s,
@@ -471,6 +517,8 @@ fn measure(w: &Workload, reps: usize) -> serde_json::Value {
         edges_per_sec,
         rss as f64 / (1024.0 * 1024.0),
         budget_overhead_frac * 100.0,
+        memory_overhead_frac * 100.0,
+        ledger_peak as f64 / (1024.0 * 1024.0),
         trace_overhead_frac * 100.0,
         trace_events,
     );
@@ -502,6 +550,16 @@ fn measure(w: &Workload, reps: usize) -> serde_json::Value {
             "deadline_s": 3600.0,
             "end_to_end_s": budgeted_s,
             "overhead_frac": budget_overhead_frac,
+            "identical_partition": true,
+            "degraded": serde_json::Value::Null,
+        },
+        "memory": {
+            "limit_bytes": MEMORY_PROBE_LIMIT,
+            "end_to_end_s": memory_s,
+            "overhead_frac": memory_overhead_frac,
+            "ledger_peak_bytes": ledger_peak,
+            "ledger_shed_bytes": ledger_shed,
+            "vm_hwm_bytes": rss,
             "identical_partition": true,
             "degraded": serde_json::Value::Null,
         },
@@ -679,7 +737,7 @@ fn main() {
 
     let injected = apply_injection(&mut measured);
     let doc = serde_json::json!({
-        "schema": 6,
+        "schema": 7,
         "mode": if smoke { "smoke" } else { "full" },
         "threads": threads,
         "calibration_s": calibration_s,

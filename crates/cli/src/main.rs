@@ -32,7 +32,7 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  gp partition --input FILE --k K --rmax R --bmax B \\\n      [--format metis|matrix|json|ppn] [--backend {} or a,b,... fallback chain] \\\n      [--model edge|hyper] [--seed N] [--budget-ms N] [--baseline] [--dot FILE] [--out FILE] \\\n      [--trace FILE] [--trace-format jsonl|chrome|summary] [--verbose]\n  gp backends\n  gp demo [1|2|3]\n  gp gen --nodes N --edges M [--seed S]\n  gp gen --multicast --stars S --fanout F [--seed N]",
+        "usage:\n  gp partition --input FILE --k K --rmax R --bmax B \\\n      [--format metis|matrix|json|ppn] [--backend {} or a,b,... fallback chain] \\\n      [--model edge|hyper] [--seed N] [--budget-ms N] [--memory-mb N] [--baseline] \\\n      [--dot FILE] [--out FILE] \\\n      [--trace FILE] [--trace-format jsonl|chrome|summary] [--verbose]\n  gp backends\n  gp demo [1|2|3]\n  gp gen --nodes N --edges M [--seed S]\n  gp gen --multicast --stars S --fanout F [--seed N]",
         backend_names().join("|")
     );
     ExitCode::from(2)
@@ -153,7 +153,7 @@ fn cmd_partition(args: &[String]) -> ExitCode {
     let seed = arg_value(args, "--seed")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0xCA77Au64);
-    let budget = match arg_value(args, "--budget-ms") {
+    let mut budget = match arg_value(args, "--budget-ms") {
         None => Budget::unlimited(),
         Some(v) => match v.parse::<u64>() {
             Ok(ms) => Budget::unlimited().with_deadline(Duration::from_millis(ms)),
@@ -163,6 +163,15 @@ fn cmd_partition(args: &[String]) -> ExitCode {
             }
         },
     };
+    if let Some(v) = arg_value(args, "--memory-mb") {
+        match v.parse::<u64>() {
+            Ok(mb) if mb > 0 => budget = budget.with_max_bytes(mb * 1024 * 1024),
+            _ => {
+                eprintln!("error: --memory-mb takes a positive whole number of MiB, got `{v}`");
+                return usage();
+            }
+        }
+    }
     let verbose = has_flag(args, "--verbose");
     let trace_path = arg_value(args, "--trace");
     let trace_format = match arg_value(args, "--trace-format") {
@@ -274,7 +283,11 @@ fn cmd_partition(args: &[String]) -> ExitCode {
         }
     }
     if let Completion::Degraded { phase, reason } = &outcome.completion {
-        eprintln!("warning: budget cut the run short in {phase}: {reason}");
+        if reason.contains("memory") {
+            eprintln!("warning: memory budget cut the run short in {phase}: {reason}");
+        } else {
+            eprintln!("warning: budget cut the run short in {phase}: {reason}");
+        }
     }
     if !outcome.feasible {
         eprintln!(

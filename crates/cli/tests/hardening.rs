@@ -209,6 +209,80 @@ fn budget_ms_flag_is_validated_and_accepted() {
 }
 
 #[test]
+fn memory_mb_flag_is_validated_and_accepted() {
+    let dir = temp_dir("memory");
+    let path = write_graph(&dir, "24", "60", "7");
+    let base = [
+        "partition",
+        "--input",
+        path.to_str().unwrap(),
+        "--k",
+        "3",
+        "--rmax",
+        "100000",
+        "--bmax",
+        "100000",
+    ];
+    // malformed and zero values → usage, nonzero
+    for bad in ["plenty", "0"] {
+        let run = gp().args(base).args(["--memory-mb", bad]).output().unwrap();
+        assert!(!run.status.success(), "--memory-mb {bad} must be rejected");
+        assert!(
+            stderr_of(&run).contains("--memory-mb"),
+            "{}",
+            stderr_of(&run)
+        );
+    }
+    // a generous cap behaves exactly like no cap
+    let run = gp()
+        .args(base)
+        .args(["--memory-mb", "4096"])
+        .output()
+        .unwrap();
+    assert!(run.status.success(), "{}", stderr_of(&run));
+    assert!(!stderr_of(&run).contains("warning"), "{}", stderr_of(&run));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tight_memory_cap_degrades_with_a_warning_but_exits_zero() {
+    let dir = temp_dir("memtight");
+    let path = write_graph(&dir, "8192", "32768", "8");
+    // 1 MiB cannot hold the level arena for 8192 nodes / 32768 edges
+    // at the engines' conservative estimates, but the run must still
+    // complete with a valid (degraded) partition and exit 0.
+    let run = gp()
+        .args([
+            "partition",
+            "--backend",
+            "gp,rb",
+            "--input",
+            path.to_str().unwrap(),
+            "--k",
+            "4",
+            "--rmax",
+            "1000000",
+            "--bmax",
+            "1000000",
+            "--memory-mb",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        run.status.success(),
+        "memory-capped run must not fail: {}",
+        stderr_of(&run)
+    );
+    let stderr = stderr_of(&run);
+    assert!(
+        stderr.contains("warning: memory budget cut the run short"),
+        "memory degradation must be reported: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn backend_chain_runs_and_reports_the_server() {
     let dir = temp_dir("chain");
     let path = write_graph(&dir, "16", "36", "5");

@@ -43,8 +43,9 @@ use gp_classic::matching::{
     shuffled_sorted_edges,
 };
 use ppn_graph::arena::{LevelArena, LevelView};
-use ppn_graph::budget::Budget;
+use ppn_graph::budget::{Budget, Reservation};
 use ppn_graph::contract::{contract_reference, contract_with, CoarseMap, ContractScratch};
+use ppn_graph::faultpoint;
 use ppn_graph::matching::{random_maximal_matching, Matching};
 use ppn_graph::prng::derive_seed;
 use ppn_graph::trace;
@@ -500,41 +501,72 @@ pub fn gp_coarsen_flat_observed(
     seed: u64,
     observe: &mut dyn FnMut(&LevelTiming),
 ) -> FlatHierarchy {
-    gp_coarsen_flat_budgeted_observed(g, kinds, coarsen_to, seed, &Budget::unlimited(), observe).0
+    let mut res = Budget::unlimited().begin_reservation();
+    gp_coarsen_flat_budgeted_observed(
+        g,
+        kinds,
+        coarsen_to,
+        seed,
+        &Budget::unlimited(),
+        &mut res,
+        observe,
+    )
+    .0
 }
 
 /// [`gp_coarsen_flat`] under a [`Budget`]: the budget is consulted only
 /// at level boundaries (a level's matching tournament and contraction
 /// run uninterrupted), and a level is started only when the remaining
 /// wall-clock can plausibly fit it ([`Budget::admits_work`] over the
-/// level's edge count). Returns the hierarchy built so far plus the
-/// truncation reason when the budget stopped coarsening early — `None`
-/// means the hierarchy is exactly what the unbudgeted twin produces.
+/// level's edge count) **and** its arena growth fits under the memory
+/// ledger ([`LevelArena::try_reserve_level`] against `res`; the caller
+/// owns the reservation so the tracked bytes stay reserved for as long
+/// as it keeps the hierarchy alive). Returns the hierarchy built so far
+/// plus the truncation reason when the budget stopped coarsening early —
+/// `None` means the hierarchy is exactly what the unbudgeted twin
+/// produces.
 pub fn gp_coarsen_flat_budgeted(
     g: &WeightedGraph,
     kinds: &[MatchingKind],
     coarsen_to: usize,
     seed: u64,
     budget: &Budget,
+    res: &mut Reservation,
 ) -> (FlatHierarchy, Option<String>) {
-    gp_coarsen_flat_budgeted_observed(g, kinds, coarsen_to, seed, budget, &mut |_| {})
+    gp_coarsen_flat_budgeted_observed(g, kinds, coarsen_to, seed, budget, res, &mut |_| {})
 }
 
 /// [`gp_coarsen_flat_budgeted`] with the per-level observer.
+#[allow(clippy::too_many_arguments)]
 pub fn gp_coarsen_flat_budgeted_observed(
     g: &WeightedGraph,
     kinds: &[MatchingKind],
     coarsen_to: usize,
     seed: u64,
     budget: &Budget,
+    res: &mut Reservation,
     observe: &mut dyn FnMut(&LevelTiming),
 ) -> (FlatHierarchy, Option<String>) {
+    let mut cut_short: Option<String> = None;
+    // Reserve the finest level before materialising it; refusal cannot
+    // skip the arena (the hierarchy needs level 0 to exist) but stops
+    // coarsening before it doubles the footprint. The conservative
+    // estimate contracts to the measured size right after.
+    let est0 = LevelArena::level_bytes_estimate(g.num_nodes(), g.num_edges());
+    let fault0 = faultpoint::alloc_fault("gp", "coarsen");
+    if fault0 || !res.try_grow(est0) {
+        cut_short = Some(format!(
+            "memory budget cannot fit the finest level ({est0} bytes)"
+        ));
+    }
     let mut arena = LevelArena::from_graph(g);
+    if cut_short.is_none() {
+        res.shrink(est0.saturating_sub(arena.total_bytes() as u64));
+    }
     let mut winners = Vec::new();
     let mut match_scratch = MatchScratch::new();
     let mut round = 0u64;
-    let mut cut_short: Option<String> = None;
-    while arena.top().num_nodes() > coarsen_to {
+    while cut_short.is_none() && arena.top().num_nodes() > coarsen_to {
         let _lvl = trace::span("gp", "coarsen_level", round as i64);
         let top = arena.num_levels() - 1;
         let (fine_nodes, fine_edges) = (arena.level_nodes(top), arena.level_edges(top));
@@ -553,6 +585,21 @@ pub fn gp_coarsen_flat_budgeted_observed(
             ));
             break;
         }
+        // memory pre-flight for the level this round would append
+        let reserved = if faultpoint::alloc_fault("gp", "coarsen") {
+            Err(arena.next_level_bytes_bound())
+        } else {
+            arena.try_reserve_level(res)
+        };
+        let reserved = match reserved {
+            Ok(bytes) => bytes,
+            Err(want) => {
+                cut_short = Some(format!(
+                    "memory budget cannot fit coarsen level {round} ({want} bytes)"
+                ));
+                break;
+            }
+        };
         let sp = trace::timed_span("gp", "matching", round as i64);
         let (kind, m, heuristics) = {
             let view = arena.top();
@@ -568,10 +615,13 @@ pub fn gp_coarsen_flat_budgeted_observed(
         let coarse_nodes = m.coarse_node_count();
         if coarse_nodes as f64 > fine_nodes as f64 * 0.95 {
             trace::counter("gp", "matching_stall", 1);
+            res.shrink(reserved); // no level appended after all
             break; // stalled (e.g. star graphs) — same rule as the Cow loop
         }
         let sp = trace::timed_span("gp", "contract", round as i64);
+        let before = arena.total_bytes();
         let cn = arena.contract_top(&m);
+        res.shrink(reserved.saturating_sub((arena.total_bytes() - before) as u64));
         let contract_s = sp.finish();
         observe(&LevelTiming {
             level: round as usize,

@@ -69,7 +69,10 @@ fn refine_up(
             seed: derive_seed(params.seed, stream ^ (i as u64) << 8),
             protect_nonempty: true,
         };
-        if params.parallel && level.num_nodes() >= params.parallel_refine_min_nodes {
+        // reduced-footprint budgets pin refinement to the serial sweep —
+        // the parallel path clones per-shard evaluation buffers
+        let parallel = params.parallel && !budget.reduced_footprint();
+        if parallel && level.num_nodes() >= params.parallel_refine_min_nodes {
             constrained_refine_parallel_csr(level, &mut p, c, &opts);
         } else {
             constrained_refine_csr(level, &mut p, c, &opts);
@@ -112,6 +115,19 @@ pub fn gp_partition_budgeted(
     let mut phases = PhaseSeconds::default();
     let mut degraded: Option<Degradation> = None;
     let matchings = params.effective_matchings();
+    // Reduced-footprint budgets (the fallback driver's memory-shed
+    // retry) trade quality for bytes: fewer initial restarts, a single
+    // intermediate attempt, serial refinement (see refine_up).
+    let initial_restarts = if budget.reduced_footprint() {
+        params.initial_restarts.min(2)
+    } else {
+        params.initial_restarts
+    };
+    let intermediate_attempts = if budget.reduced_footprint() {
+        1
+    } else {
+        params.intermediate_attempts
+    };
 
     'cycles: for cycle in 0..params.max_cycles.max(1) {
         let _cyc = trace::span("gp", "cycle", cycle as i64);
@@ -125,19 +141,24 @@ pub fn gp_partition_budgeted(
         cycles_used = cycle + 1;
         let cycle_seed = derive_seed(params.seed, 0xC1C + cycle as u64);
 
-        // When the budget cannot plausibly fit even one matching level,
-        // skip building the level arena too (an O(V + E) copy of the
-        // input): the truncated hierarchy's coarsest level would be the
-        // input graph itself, so the contiguous fallback below lands on
-        // the same partition either way.
-        if !budget.is_unlimited() && (budget.expired() || !budget.admits_work(g.num_edges() as u64))
+        // When the budget cannot plausibly fit even one matching level —
+        // in wall-clock or in tracked bytes — skip building the level
+        // arena too (an O(V + E) copy of the input): the truncated
+        // hierarchy's coarsest level would be the input graph itself, so
+        // the contiguous fallback below lands on the same partition
+        // either way.
+        let level0_bytes =
+            ppn_graph::arena::LevelArena::level_bytes_estimate(g.num_nodes(), g.num_edges());
+        let mem_blocked = !budget.admits_bytes(level0_bytes);
+        if !budget.is_unlimited()
+            && (budget.expired() || !budget.admits_work(g.num_edges() as u64) || mem_blocked)
         {
-            degraded.get_or_insert_with(|| {
-                Degradation::new(
-                    "coarsen",
-                    "deadline expired; contiguous fallback on the input graph",
-                )
-            });
+            let reason = if mem_blocked && !budget.cancelled() {
+                "memory budget cannot fit the level arena; contiguous fallback on the input graph"
+            } else {
+                "deadline expired; contiguous fallback on the input graph"
+            };
+            degraded.get_or_insert_with(|| Degradation::new("coarsen", reason));
             let p = Partition::contiguous_balanced(g.node_weights(), k);
             let goodness = PartitionQuality::measure(g, &p).goodness_key(c.rmax, c.bmax);
             if best.as_ref().map(|(bg, _)| goodness < *bg).unwrap_or(true) {
@@ -151,8 +172,17 @@ pub fn gp_partition_budgeted(
         // Cow-based gp_coarsen survives as the property-test oracle
         fault_point("gp", "coarsen");
         let sp = trace::timed_span("gp", "coarsen", cycle as i64);
-        let (hier, coarsen_cut_short) =
-            gp_coarsen_flat_budgeted(g, &matchings, params.coarsen_to, cycle_seed, budget);
+        // the reservation is declared before the hierarchy so it drops
+        // after it: the ledger bytes stay claimed while the arena lives
+        let mut reservation = budget.begin_reservation();
+        let (hier, coarsen_cut_short) = gp_coarsen_flat_budgeted(
+            g,
+            &matchings,
+            params.coarsen_to,
+            cycle_seed,
+            budget,
+            &mut reservation,
+        );
         phases.coarsen_s += sp.finish();
         if let Some(reason) = coarsen_cut_short {
             degraded.get_or_insert_with(|| Degradation::new("coarsen", reason));
@@ -168,8 +198,8 @@ pub fn gp_partition_budgeted(
         // coarsest level and project it to the top without refinement.
         // This bounds the post-expiry tail to validation + O(n) work.
         let coarsest_view = hier.level(levels).csr_view();
-        let coarsest_work = (coarsest_view.num_edges() as u64)
-            .saturating_mul(params.initial_restarts.max(1) as u64);
+        let coarsest_work =
+            (coarsest_view.num_edges() as u64).saturating_mul(initial_restarts.max(1) as u64);
         if !budget.is_unlimited() && (budget.expired() || !budget.admits_work(coarsest_work)) {
             degraded.get_or_insert_with(|| {
                 Degradation::new(
@@ -195,7 +225,7 @@ pub fn gp_partition_budgeted(
 
         // generate intermediate clustering candidates
         fault_point("gp", "initial");
-        let attempts = params.intermediate_attempts.max(1);
+        let attempts = intermediate_attempts.max(1);
         let mut candidates: Vec<((u64, u64, u64), Partition)> = Vec::with_capacity(attempts);
         for attempt in 0..attempts {
             let _att = trace::span("gp", "attempt", attempt as i64);
@@ -216,7 +246,7 @@ pub fn gp_partition_budgeted(
                 k,
                 c,
                 &InitialOptions {
-                    restarts: params.initial_restarts,
+                    restarts: initial_restarts,
                     repair_passes: params.refine_passes,
                     seed: attempt_seed,
                     parallel: params.parallel,
@@ -471,6 +501,56 @@ mod tests {
         );
         let d = a.degraded.expect("level cap must be reported");
         assert_eq!(d.phase, "coarsen");
+    }
+
+    #[test]
+    fn memory_cap_degrades_but_stays_valid() {
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..240).map(|_| g.add_node(4)).collect();
+        for i in 0..240 {
+            g.add_edge(n[i], n[(i + 1) % 240], 3).unwrap();
+        }
+        let c = Constraints::new(500, 1_000);
+
+        // a ledger too small for even the finest level: contiguous
+        // fallback on the input graph, reported as a memory degradation
+        let budget = Budget::unlimited().with_max_bytes(1024);
+        let r = gp_partition_budgeted(&g, 4, &c, &GpParams::default(), &budget)
+            .unwrap_or_else(|e| e.best);
+        assert!(r.partition.is_complete());
+        assert_eq!(r.partition.k(), 4);
+        let d = r.degraded.expect("a 1KiB cap must cut the run short");
+        assert_eq!(d.phase, "coarsen");
+        assert!(d.reason.contains("memory"), "reason: {}", d.reason);
+        assert_eq!(
+            budget.memory_ledger().unwrap().used(),
+            0,
+            "reservations must drain when the run ends"
+        );
+
+        // a ledger that fits level 0 but not a second level: coarsening
+        // is cut short, the answer is still complete and deterministic
+        let est0 = ppn_graph::arena::LevelArena::level_bytes_estimate(g.num_nodes(), g.num_edges());
+        let make_budget = || Budget::unlimited().with_max_bytes(est0 + est0 / 2);
+        let a = gp_partition_budgeted(&g, 4, &c, &GpParams::default(), &make_budget())
+            .unwrap_or_else(|e| e.best);
+        let b = gp_partition_budgeted(&g, 4, &c, &GpParams::default(), &make_budget())
+            .unwrap_or_else(|e| e.best);
+        assert!(a.partition.is_complete());
+        assert_eq!(a.partition, b.partition, "memory caps stay deterministic");
+        let d = a.degraded.expect("capped ledger must degrade");
+        assert_eq!(d.phase, "coarsen");
+        assert!(d.reason.contains("memory"), "reason: {}", d.reason);
+    }
+
+    #[test]
+    fn reduced_footprint_still_solves() {
+        let g = four_triads();
+        let c = Constraints::new(150, 20);
+        let budget = Budget::unlimited().with_reduced_footprint();
+        let r = gp_partition_budgeted(&g, 4, &c, &GpParams::default(), &budget).expect("feasible");
+        assert!(r.feasible);
+        assert!(r.partition.is_complete());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::hypergraph::Hypergraph;
 use crate::initial::{greedy_hyper_initial, HyperInitialOptions};
 use crate::metrics::HyperQuality;
 use crate::refine::{hyper_refine, HyperRefineOptions};
-use ppn_graph::faultpoint::fault_point;
+use ppn_graph::faultpoint::{alloc_fault, fault_point};
 use ppn_graph::prng::derive_seed;
 use ppn_graph::trace;
 use ppn_graph::{Budget, ConstraintReport, Constraints, Degradation, Partition};
@@ -93,6 +93,14 @@ impl std::fmt::Display for HyperInfeasible {
 
 impl std::error::Error for HyperInfeasible {}
 
+/// Conservative bytes a coarsening run over `hg` allocates: per level
+/// the coarse hypergraph's CSR arrays (≈16 bytes per node and net, 8 per
+/// pin, counting the dual), summed over a geometric hierarchy (~2× the
+/// finest level).
+fn hyper_bytes_estimate(hg: &Hypergraph) -> u64 {
+    2 * (hg.num_nodes() as u64 * 16 + hg.num_nets() as u64 * 16 + hg.num_pins() as u64 * 8)
+}
+
 fn refine_up(
     hier: &HyperHierarchy,
     mut p: Partition,
@@ -163,6 +171,13 @@ pub fn hyper_partition_budgeted(
     let mut best: Option<((u64, u64, u64), Partition)> = None;
     let mut cycles_used = 0;
     let mut degraded: Option<Degradation> = None;
+    // reduced-footprint budgets cut the transient working set of the
+    // greedy initial search (one candidate partition per restart)
+    let initial_restarts = if budget.reduced_footprint() {
+        params.initial_restarts.min(2)
+    } else {
+        params.initial_restarts
+    };
     for cycle in 0..params.max_cycles.max(1) {
         let _cyc = trace::span("hyper", "cycle", cycle as i64);
         trace::counter("hyper", "budget_checkpoint", 1);
@@ -176,19 +191,32 @@ pub fn hyper_partition_budgeted(
         let cycle_seed = derive_seed(params.seed, 0x4C1C + cycle as u64);
 
         // A coarsen + initial round over this hypergraph is at least
-        // pin-linear; with nothing banked yet fall back to a contiguous
-        // fill rather than blowing through the deadline.
-        if best.is_none()
-            && !budget.is_unlimited()
-            && (budget.expired() || !budget.admits_work(hg.num_pins() as u64))
+        // pin-linear in time and allocates the whole hierarchy (~2× the
+        // finest level) in bytes; with nothing banked yet fall back to a
+        // contiguous fill rather than blowing through either budget —
+        // with a best already banked, keep it and stop re-coarsening.
+        let mem_blocked = alloc_fault("hyper", "coarsen")
+            || (budget.memory_ledger().is_some() && !budget.admits_bytes(hyper_bytes_estimate(hg)));
+        if mem_blocked
+            || (best.is_none()
+                && !budget.is_unlimited()
+                && (budget.expired() || !budget.admits_work(hg.num_pins() as u64)))
         {
+            let cause = if mem_blocked && !budget.cancelled() {
+                "memory budget cannot fit the hierarchy"
+            } else {
+                "deadline expired"
+            };
+            if best.is_some() {
+                degraded.get_or_insert_with(|| {
+                    Degradation::new("cycle", format!("{cause}; stopping after {cycle} cycle(s)"))
+                });
+                break;
+            }
             degraded.get_or_insert_with(|| {
                 Degradation::new(
                     "initial",
-                    format!(
-                        "deadline expired; contiguous fill over {} nodes",
-                        hg.num_nodes()
-                    ),
+                    format!("{cause}; contiguous fill over {} nodes", hg.num_nodes()),
                 )
             });
             let p = Partition::contiguous_balanced(hg.node_weights(), k);
@@ -208,7 +236,7 @@ pub fn hyper_partition_budgeted(
             k,
             c,
             &HyperInitialOptions {
-                restarts: params.initial_restarts,
+                restarts: initial_restarts,
                 repair_passes: params.refine_passes,
                 seed: cycle_seed,
             },

@@ -34,7 +34,7 @@ use gp_core::params::MatchingKind;
 use gp_core::refine::{constrained_refine, RefineOptions};
 use gp_core::{gp_coarsen, PhaseSeconds};
 use ppn_graph::budget::{Budget, Degradation};
-use ppn_graph::faultpoint::fault_point;
+use ppn_graph::faultpoint::{alloc_fault, fault_point};
 use ppn_graph::metrics::{CutMatrix, PartitionQuality};
 use ppn_graph::prng::derive_seed;
 use ppn_graph::trace;
@@ -222,6 +222,14 @@ fn part_groupings(k: usize, k0: usize) -> Vec<Vec<bool>> {
 /// leading bisection candidate scores positive, up to `branch_width`
 /// alternative candidates are explored best-first and the
 /// lowest-violation subtree is kept.
+/// Conservative bytes a bisection subproblem allocates: the induced
+/// `WeightedGraph` (per-node weight + adjacency `Vec` header + label
+/// slot, per-edge entries in the edge list and both adjacency lists)
+/// times two for its geometric coarsening hierarchy.
+fn rb_sub_bytes_estimate(n: usize, ne: u64) -> u64 {
+    2 * (n as u64 * 56 + ne * 32)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn rb_recurse(
     g: &WeightedGraph,
@@ -243,20 +251,30 @@ fn rb_recurse(
         }
         return; // parts beyond the first stay empty when k > |nodes|
     }
-    // Deadline check at subproblem entry: an expired budget fills the
+    // Deadline and memory checks at subproblem entry: a budget that
+    // cannot afford the subproblem — in wall-clock, or in bytes for the
+    // induced subgraph plus its coarsening hierarchy — fills the
     // remaining subtree with the O(n) contiguous split instead of
     // bisecting it — complete and weight-balanced, no claim on the cut.
     trace::counter("rb", "budget_checkpoint", 1);
-    if !time_budget.is_unlimited()
-        && (time_budget.expired() || !time_budget.admits_work(nodes.len() as u64))
+    let mem_blocked = alloc_fault("rb", "bisect")
+        || (time_budget.memory_ledger().is_some() && {
+            let deg_sum: u64 = nodes.iter().map(|&v| g.neighbors(v).len() as u64).sum();
+            !time_budget.admits_bytes(rb_sub_bytes_estimate(nodes.len(), deg_sum / 2))
+        });
+    if mem_blocked
+        || (!time_budget.is_unlimited()
+            && (time_budget.expired() || !time_budget.admits_work(nodes.len() as u64)))
     {
+        let cause = if mem_blocked && !time_budget.cancelled() {
+            "memory budget cannot fit the subproblem"
+        } else {
+            "deadline expired"
+        };
         degraded.get_or_insert_with(|| {
             Degradation::new(
                 "bisect",
-                format!(
-                    "deadline expired; contiguous fill over {} nodes",
-                    nodes.len()
-                ),
+                format!("{cause}; contiguous fill over {} nodes", nodes.len()),
             )
         });
         let weights: Vec<u64> = nodes.iter().map(|&v| g.node_weight(v)).collect();
@@ -507,6 +525,20 @@ pub fn rb_partition_budgeted(
             degraded: None,
         });
     }
+
+    // Reduced-footprint budgets shrink the search's working set: fewer
+    // bisection restarts and no best-first branching alternatives.
+    let reduced_params;
+    let params = if time_budget.reduced_footprint() {
+        reduced_params = RbParams {
+            bisect_restarts: params.bisect_restarts.min(2),
+            branch_width: 1,
+            ..params.clone()
+        };
+        &reduced_params
+    } else {
+        params
+    };
 
     let all: Vec<NodeId> = g.node_ids().collect();
     let mut best: Option<((u64, u64, u64), Partition)> = None;

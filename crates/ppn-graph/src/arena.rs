@@ -184,6 +184,43 @@ impl LevelArena {
             + self.levels.len() * std::mem::size_of::<LevelMeta>()
     }
 
+    /// Bytes a level holding `n` nodes and `ne` edges occupies in the
+    /// flat arrays (the per-array terms of [`total_bytes`](Self::total_bytes)).
+    /// Used to pre-flight level 0 before [`from_graph`](Self::from_graph)
+    /// and, with the top level's own counts, to bound the next coarse
+    /// level — contraction never grows node or edge counts.
+    pub fn level_bytes_estimate(n: usize, ne: usize) -> u64 {
+        let n = n as u64;
+        let ne = ne as u64;
+        // vwgt 8 + xadj 8 per node (+1 sentinel); adjncy/adj_edge 4+4
+        // and adjwgt 8 per half-edge (2 per edge); eu/ev 4+4, ew 8 per
+        // edge; one LevelMeta.
+        n * 16 + 8 + ne * 48 + std::mem::size_of::<LevelMeta>() as u64
+    }
+
+    /// Upper bound on the bytes one more contraction can append: the
+    /// coarse level is no larger than the top level, plus the top
+    /// level's fine→coarse map (4 bytes per fine node).
+    pub fn next_level_bytes_bound(&self) -> u64 {
+        let m = self.levels[self.levels.len() - 1];
+        Self::level_bytes_estimate(m.num_nodes, m.num_edges) + m.num_nodes as u64 * 4
+    }
+
+    /// Fallible pre-reservation of the next coarse level against `res`'s
+    /// memory ledger. On success the conservative bound is reserved and
+    /// returned (`Ok(bytes)`) — after [`contract_top`](Self::contract_top)
+    /// the caller should [`Reservation::shrink`] the unused slack. On
+    /// refusal nothing is reserved and the bound comes back as
+    /// `Err(bytes)` so the caller can degrade with an exact message.
+    pub fn try_reserve_level(&self, res: &mut crate::budget::Reservation) -> Result<u64, u64> {
+        let want = self.next_level_bytes_bound();
+        if res.try_grow(want) {
+            Ok(want)
+        } else {
+            Err(want)
+        }
+    }
+
     /// Contract the top level along `matching`, appending the coarse
     /// level, and return its node count. Structure is bit-identical to
     /// [`contract_with`](crate::contract::contract_with) on the
@@ -656,6 +693,33 @@ mod tests {
         for e in g.edge_ids() {
             assert_eq!(lv.edge(e), g.edge(e), "edge {e:?}");
         }
+    }
+
+    #[test]
+    fn level_reservation_bounds_and_degrades() {
+        let g = random_graph(50, 40, 5);
+        let mut arena = LevelArena::from_graph(&g);
+        // the static estimate covers what from_graph actually allocated
+        let est0 = LevelArena::level_bytes_estimate(g.num_nodes(), g.num_edges());
+        assert!(est0 >= arena.total_bytes() as u64);
+        // a generous ledger admits a level and the bound covers reality
+        let budget = crate::budget::Budget::unlimited().with_max_bytes(4 * est0);
+        let mut res = budget.begin_reservation();
+        let want = arena.try_reserve_level(&mut res).expect("fits");
+        let before = arena.total_bytes();
+        let m = random_maximal_matching(&g, 99);
+        arena.contract_top(&m);
+        let grew = (arena.total_bytes() - before) as u64;
+        assert!(grew <= want, "bound {want} must cover actual growth {grew}");
+        res.shrink(want - grew);
+        assert_eq!(res.bytes(), grew);
+        // a tiny ledger refuses without reserving anything
+        let tiny = crate::budget::Budget::unlimited().with_max_bytes(16);
+        let mut res = tiny.begin_reservation();
+        let want = arena.try_reserve_level(&mut res).expect_err("must refuse");
+        assert!(want > 16);
+        assert_eq!(res.bytes(), 0);
+        assert_eq!(tiny.memory_ledger().unwrap().used(), 0);
     }
 
     #[test]

@@ -17,8 +17,9 @@
 //! the backend boundary converts it into a typed error instead of a
 //! degraded outcome.
 
+use crate::trace;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -27,6 +28,167 @@ use std::time::{Duration, Instant};
 /// runs at a few hundred ns/edge) so a budgeted engine degrades a phase
 /// it cannot plausibly finish instead of blowing through the deadline.
 const WORK_NS_PER_UNIT: u64 = 250;
+
+/// Shared atomic accounting of the bytes the partitioning engines have
+/// *reserved* against a hard ceiling. The ledger tracks the big,
+/// predictable allocations (hierarchy levels, induced subgraphs) — it is
+/// a cooperative budget, not an allocator hook, so small bookkeeping
+/// allocations stay untracked and callers must leave headroom when
+/// running under a real `ulimit -v`.
+///
+/// One ledger is shared (via `Arc`) by every budget cloned from the same
+/// [`Budget::with_max_bytes`] call, so a fallback chain draws on one
+/// pool the same way [`Budget::with_deadline_at`] shares one deadline.
+#[derive(Debug)]
+pub struct MemoryLedger {
+    limit: u64,
+    used: AtomicU64,
+    peak: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl MemoryLedger {
+    /// A ledger with a hard ceiling of `limit` tracked bytes.
+    pub fn new(limit: u64) -> Self {
+        MemoryLedger {
+            limit,
+            used: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured ceiling in bytes.
+    #[inline]
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Bytes currently reserved.
+    #[inline]
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of reserved bytes over the ledger's lifetime.
+    #[inline]
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes of reservations the ledger refused (work shed).
+    #[inline]
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Non-mutating pre-flight: would a reservation of `bytes` fit?
+    #[inline]
+    pub fn admits(&self, bytes: u64) -> bool {
+        self.used().saturating_add(bytes) <= self.limit
+    }
+
+    /// Reserve `bytes` against the ceiling. Returns `false` (and records
+    /// the shed) when the reservation would cross the limit; the caller
+    /// must then degrade instead of allocating.
+    pub fn try_reserve(&self, bytes: u64) -> bool {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = match cur.checked_add(bytes) {
+                Some(next) if next <= self.limit => next,
+                _ => {
+                    self.shed.fetch_add(bytes, Ordering::Relaxed);
+                    trace::counter("mem", "bytes_shed", bytes);
+                    return false;
+                }
+            };
+            match self
+                .used
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    self.peak.fetch_max(next, Ordering::Relaxed);
+                    trace::counter("mem", "bytes_reserved", bytes);
+                    return true;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Return `bytes` to the pool (saturating — releasing more than was
+    /// reserved clamps to zero rather than wrapping).
+    pub fn release(&self, bytes: u64) {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self
+                .used
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// RAII handle over a ledger reservation: grows in steps as an engine
+/// commits allocations, releases everything it still holds on drop —
+/// including on unwind, so an injected panic cannot leak ledger bytes.
+/// Budgets without a ledger hand out a no-op reservation, keeping the
+/// unbudgeted path allocation-free.
+#[derive(Debug, Default)]
+pub struct Reservation {
+    ledger: Option<Arc<MemoryLedger>>,
+    bytes: u64,
+}
+
+impl Reservation {
+    /// Bytes this reservation currently holds.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Try to grow the reservation by `bytes`. Always succeeds (and
+    /// tracks nothing) without a ledger.
+    pub fn try_grow(&mut self, bytes: u64) -> bool {
+        match &self.ledger {
+            None => true,
+            Some(ledger) => {
+                if ledger.try_reserve(bytes) {
+                    self.bytes += bytes;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Hand back `bytes` of the reservation early (e.g. after a
+    /// conservative estimate contracted to its actual size).
+    pub fn shrink(&mut self, bytes: u64) {
+        let give_back = bytes.min(self.bytes);
+        if give_back > 0 {
+            if let Some(ledger) = &self.ledger {
+                ledger.release(give_back);
+            }
+            self.bytes -= give_back;
+        }
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        if self.bytes > 0 {
+            if let Some(ledger) = &self.ledger {
+                ledger.release(self.bytes);
+            }
+        }
+    }
+}
 
 /// A cooperative execution budget. `Default`/[`Budget::unlimited`] is the
 /// no-op budget: every check is a handful of branches on `None`, keeping
@@ -37,6 +199,8 @@ pub struct Budget {
     max_coarsen_levels: Option<usize>,
     max_refine_passes: Option<usize>,
     cancel: Option<Arc<AtomicBool>>,
+    memory: Option<Arc<MemoryLedger>>,
+    reduced_footprint: bool,
 }
 
 impl Budget {
@@ -76,6 +240,39 @@ impl Budget {
         self
     }
 
+    /// Cap tracked memory at `bytes`, backed by a fresh [`MemoryLedger`].
+    pub fn with_max_bytes(mut self, bytes: u64) -> Self {
+        self.memory = Some(Arc::new(MemoryLedger::new(bytes)));
+        self
+    }
+
+    /// Attach an existing ledger (for sharing one memory pool across
+    /// several backends, e.g. the fallback driver).
+    pub fn with_memory_ledger(mut self, ledger: Arc<MemoryLedger>) -> Self {
+        self.memory = Some(ledger);
+        self
+    }
+
+    /// Ask engines to prefer low-footprint configurations (fewer
+    /// restarts, narrower searches). Set by the fallback driver's
+    /// reduced-footprint retry after a memory-exhausted first pass.
+    pub fn with_reduced_footprint(mut self) -> Self {
+        self.reduced_footprint = true;
+        self
+    }
+
+    /// The attached memory ledger, when a ceiling is configured.
+    #[inline]
+    pub fn memory_ledger(&self) -> Option<&Arc<MemoryLedger>> {
+        self.memory.as_ref()
+    }
+
+    /// True when the budget asks for low-footprint engine configs.
+    #[inline]
+    pub fn reduced_footprint(&self) -> bool {
+        self.reduced_footprint
+    }
+
     /// True when no limit of any kind is configured — engines may use
     /// this to skip budget bookkeeping entirely.
     #[inline]
@@ -84,6 +281,8 @@ impl Budget {
             && self.max_coarsen_levels.is_none()
             && self.max_refine_passes.is_none()
             && self.cancel.is_none()
+            && self.memory.is_none()
+            && !self.reduced_footprint
     }
 
     /// True when the cancel flag was raised.
@@ -128,6 +327,37 @@ impl Budget {
                 let est = Duration::from_nanos(units.saturating_mul(WORK_NS_PER_UNIT));
                 rem > est
             }
+        }
+    }
+
+    /// Pre-flight gate for a phase about to allocate: would `bytes` more
+    /// tracked bytes fit under the memory ceiling? Mirrors
+    /// [`admits_work`](Self::admits_work): budgets without a ledger
+    /// always admit, cancelled runs never do. Non-mutating — use
+    /// [`begin_reservation`](Self::begin_reservation) /
+    /// [`Reservation::try_grow`] to actually claim the bytes.
+    pub fn admits_bytes(&self, bytes: u64) -> bool {
+        if self.cancelled() {
+            return false;
+        }
+        match &self.memory {
+            None => true,
+            Some(ledger) => ledger.admits(bytes),
+        }
+    }
+
+    /// True when a memory ceiling is configured and already fully
+    /// consumed — nothing further can be reserved.
+    pub fn memory_exhausted(&self) -> bool {
+        self.memory.as_ref().is_some_and(|ledger| !ledger.admits(1))
+    }
+
+    /// Start an empty RAII reservation against this budget's ledger (a
+    /// no-op handle when no ceiling is configured).
+    pub fn begin_reservation(&self) -> Reservation {
+        Reservation {
+            ledger: self.memory.clone(),
+            bytes: 0,
         }
     }
 
@@ -227,6 +457,82 @@ mod tests {
         assert!(!b.allows_coarsen_level(2));
         assert_eq!(b.clamp_refine_passes(8), 3);
         assert_eq!(b.clamp_refine_passes(1), 1);
+    }
+
+    #[test]
+    fn memory_ledger_reserves_and_sheds() {
+        let l = MemoryLedger::new(100);
+        assert_eq!(l.limit(), 100);
+        assert!(l.admits(100));
+        assert!(l.try_reserve(60));
+        assert_eq!(l.used(), 60);
+        assert!(!l.admits(41));
+        assert!(l.admits(40));
+        assert!(!l.try_reserve(41)); // would cross the limit
+        assert_eq!(l.shed(), 41);
+        assert_eq!(l.used(), 60); // refused reservation left no trace
+        assert!(l.try_reserve(40));
+        assert_eq!(l.used(), 100);
+        assert_eq!(l.peak(), 100);
+        l.release(70);
+        assert_eq!(l.used(), 30);
+        assert_eq!(l.peak(), 100); // peak is a high-water mark
+        l.release(1_000); // over-release clamps, never wraps
+        assert_eq!(l.used(), 0);
+    }
+
+    #[test]
+    fn budget_admits_bytes_mirrors_admits_work() {
+        let b = Budget::unlimited();
+        assert!(b.admits_bytes(u64::MAX));
+        assert!(!b.memory_exhausted());
+        let b = Budget::unlimited().with_max_bytes(1000);
+        assert!(!b.is_unlimited());
+        assert!(b.admits_bytes(1000));
+        assert!(!b.admits_bytes(1001));
+        assert!(b.memory_ledger().unwrap().try_reserve(1000));
+        assert!(b.memory_exhausted());
+        assert!(!b.admits_bytes(1));
+        // cancellation gates memory admission just like work admission
+        let flag = Arc::new(AtomicBool::new(true));
+        let b = Budget::unlimited().with_cancel(flag);
+        assert!(!b.admits_bytes(0));
+    }
+
+    #[test]
+    fn reservation_releases_on_drop_and_shrinks() {
+        let b = Budget::unlimited().with_max_bytes(100);
+        let ledger = b.memory_ledger().unwrap().clone();
+        {
+            let mut r = b.begin_reservation();
+            assert!(r.try_grow(80));
+            assert!(!r.try_grow(30));
+            assert_eq!(r.bytes(), 80);
+            r.shrink(50); // conservative estimate contracted
+            assert_eq!(r.bytes(), 30);
+            assert_eq!(ledger.used(), 30);
+            assert!(r.try_grow(60));
+        } // drop releases the rest
+        assert_eq!(ledger.used(), 0);
+        assert_eq!(ledger.peak(), 90);
+        // a ledger is shared across clones of the same budget
+        let c = b.clone();
+        assert!(c.memory_ledger().unwrap().try_reserve(100));
+        assert!(!b.admits_bytes(1));
+        c.memory_ledger().unwrap().release(100);
+        // no-ledger reservations are free and infallible
+        let mut r = Budget::unlimited().begin_reservation();
+        assert!(r.try_grow(u64::MAX));
+        assert_eq!(r.bytes(), 0);
+    }
+
+    #[test]
+    fn reduced_footprint_flag_round_trips() {
+        let b = Budget::unlimited();
+        assert!(!b.reduced_footprint());
+        let b = b.with_reduced_footprint();
+        assert!(b.reduced_footprint());
+        assert!(!b.is_unlimited());
     }
 
     #[test]

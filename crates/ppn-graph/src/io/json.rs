@@ -23,8 +23,25 @@ pub fn partition_to_json(p: &Partition) -> String {
 }
 
 /// Parse a partition from JSON.
+///
+/// Deserialisation bypasses [`Partition::from_assignment`]'s checks, so
+/// they are re-applied here; `k` is additionally bounded against the
+/// assignment length — a claimed `k` in the billions over a handful of
+/// nodes is an allocation bomb for every `vec![_; k]` consumer
+/// (`part_sizes`, `part_weights`, `members`), not a partition.
 pub fn partition_from_json(text: &str) -> Result<Partition, GraphError> {
-    serde_json::from_str(text).map_err(|e| GraphError::Io(e.to_string()))
+    let p: Partition = serde_json::from_str(text).map_err(|e| GraphError::Io(e.to_string()))?;
+    // Degenerate instances legitimately carry k slightly above n (the
+    // k > n conformance family), so allow headroom before rejecting.
+    const K_SLACK: usize = 1024;
+    if p.k() > p.len().saturating_add(K_SLACK) {
+        return Err(GraphError::Io(format!(
+            "partition claims k={} over {} nodes; refusing the allocation bomb",
+            p.k(),
+            p.len()
+        )));
+    }
+    Partition::from_assignment(p.assignment().to_vec(), p.k())
 }
 
 #[cfg(test)]

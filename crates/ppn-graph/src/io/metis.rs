@@ -64,6 +64,21 @@ pub fn parse(text: &str) -> Result<WeightedGraph, GraphError> {
             msg: "multiple vertex weights (ncon > 1) not supported".into(),
         });
     }
+    // Allocation-bomb guard: a header cannot claim more nodes or edges
+    // than the payload has bytes to describe them. Every node costs at
+    // least its line's newline; every undirected edge is listed twice,
+    // each listing at least one digit plus a separator (4 bytes total).
+    // Checked before any count-proportional work so a hostile header
+    // like `999999999999 999999999999` fails in O(1).
+    let payload = text.len();
+    if n > payload || m > payload / 4 {
+        return Err(GraphError::Parse {
+            line: hline,
+            msg: format!(
+                "header claims {n} nodes and {m} edges but the payload is only {payload} bytes"
+            ),
+        });
+    }
 
     let mut g = WeightedGraph::new();
     struct Pending {

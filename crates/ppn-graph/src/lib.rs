@@ -40,7 +40,7 @@ pub mod view;
 
 pub use arena::{LevelArena, LevelView};
 pub use boundary::Boundary;
-pub use budget::{Budget, Degradation};
+pub use budget::{Budget, Degradation, MemoryLedger, Reservation};
 pub use constraints::{ConstraintReport, Constraints};
 pub use contract::{contract, contract_reference, contract_with, CoarseMap, ContractScratch};
 pub use csr::{Csr, CsrView};

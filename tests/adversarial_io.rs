@@ -53,6 +53,42 @@ fn dangling_endpoint_graph_json_is_rejected() {
 }
 
 #[test]
+fn metis_header_allocation_bomb_is_rejected_before_parsing() {
+    // A header claiming a trillion nodes/edges over a two-line payload
+    // must fail in O(1) on the size check, not after count-proportional
+    // work (or a count-proportional allocation).
+    let err = metis::parse(&fixture("bomb-header.metis")).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("payload is only"), "{msg}");
+}
+
+#[test]
+fn partition_k_allocation_bomb_is_rejected() {
+    // k=10^12 over three nodes would make every `vec![_; k]` consumer
+    // (part_sizes, part_weights, members) an 8 TB allocation.
+    let err = json::partition_from_json(&fixture("bomb-k.partition.json")).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("allocation bomb"), "{msg}");
+}
+
+#[test]
+fn deserialized_partition_reapplies_assignment_invariants() {
+    // Raw serde bypasses from_assignment's checks; the loader must
+    // re-apply them (entries < k, k >= 1).
+    assert!(json::partition_from_json(r#"{"k":2,"assign":[0,7]}"#).is_err());
+    assert!(json::partition_from_json(r#"{"k":0,"assign":[]}"#).is_err());
+}
+
+#[test]
+fn hypergraph_pin_count_bomb_is_rejected() {
+    // net_off claims four billion pins; the pins array has two. The
+    // offset/truncation checks fire before any pin-proportional work.
+    let hg: Hypergraph = serde_json::from_str(&fixture("bomb-pins.hyper.json")).unwrap();
+    let err = hg.validate().unwrap_err();
+    assert!(err.contains("truncated"), "{err}");
+}
+
+#[test]
 fn truncated_hypergraph_json_is_rejected_not_panicking() {
     let hg: Hypergraph = serde_json::from_str(&fixture("truncated.hyper.json")).unwrap();
     let err = hg.validate().unwrap_err();

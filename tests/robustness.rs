@@ -12,8 +12,8 @@
 //! guard even when an assertion fails.
 
 use ppn_backend::{
-    backends, robust_partition, Budget, Completion, GpBackend, PartitionError, PartitionInstance,
-    Partitioner,
+    backends, robust_partition, Budget, Completion, ExhaustKind, GpBackend, PartitionError,
+    PartitionInstance, Partitioner,
 };
 use ppn_gen::dense_community_graph;
 use ppn_graph::faultpoint;
@@ -136,9 +136,14 @@ fn cancellation_is_a_hard_error_not_a_degraded_answer() {
         .partition(&inst, 7, &budget)
         .unwrap_err();
     match err {
-        PartitionError::BudgetExhausted { backend, phase } => {
+        PartitionError::BudgetExhausted {
+            backend,
+            phase,
+            kind,
+        } => {
             assert_eq!(backend, "gp");
             assert_eq!(phase, "start");
+            assert_eq!(kind, ExhaustKind::Cancelled);
         }
         other => panic!("want BudgetExhausted, got {other}"),
     }
