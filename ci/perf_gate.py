@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over BENCH_gp.json documents (schema 7).
+"""Perf-regression gate over BENCH_gp.json documents (schema 8).
 
 Usage: perf_gate.py BASELINE FRESH [--max-slowdown 1.4] [--min-time 0.02]
 
@@ -29,6 +29,14 @@ bit-identity claim, that the ledger recorded a nonzero peak with zero
 shed bytes, and — on the dedicated row — that reservation accounting
 costs less than ``MEMORY_OVERHEAD_MAX`` of end-to-end time.
 
+Schema 8 adds the top-level ``repartition`` block: a drifting workload
+(at most 5% of nodes perturbed per step) answered both incrementally
+(warm-started refinement) and from scratch. The gate asserts the
+block's shape, that every step actually warm-started, and — when the
+row is full-size (``REPART_GATE_NODES`` nodes or more) — that the warm
+path is at least ``REPART_MIN_SPEEDUP`` times faster with an aggregate
+cut no more than ``REPART_MAX_CUT_RATIO`` of the from-scratch cut.
+
 Runner-speed differences are normalised away with the documents'
 ``calibration_s`` field (a fixed deterministic spin loop timed by the
 harness): fresh times are divided by the ratio of the two calibrations
@@ -57,6 +65,12 @@ BUDGET_OVERHEAD_MAX = 0.02
 TRACE_OVERHEAD_MAX = 0.02
 # Memory-ledger reservation accounting is bounded on the same row too.
 MEMORY_OVERHEAD_MAX = 0.02
+# The incremental-vs-scratch claim is gated only at full size: on
+# smoke-sized graphs the from-scratch solve is itself milliseconds, so
+# the speedup measures constant overheads, not the algorithm.
+REPART_GATE_NODES = 32768
+REPART_MIN_SPEEDUP = 5.0
+REPART_MAX_CUT_RATIO = 1.05
 
 
 def load(path):
@@ -65,8 +79,8 @@ def load(path):
 
 
 def assert_schema(doc, path):
-    """Schema-7 shape assertions (replaces the old schema-6 CI check)."""
-    assert doc.get("schema") == 7, f"{path}: schema {doc.get('schema')} != 7"
+    """Schema-8 shape assertions (replaces the old schema-7 CI check)."""
+    assert doc.get("schema") == 8, f"{path}: schema {doc.get('schema')} != 8"
     assert doc.get("workloads"), f"{path}: no scaling workloads"
     assert doc.get("hyper_workloads"), f"{path}: no hypergraph workloads"
     assert doc.get("calibration_s", 0) > 0, f"{path}: missing calibration_s"
@@ -116,6 +130,19 @@ def assert_schema(doc, path):
         cc = w.get("coarsen_compare")
         if cc is not None:  # reference comparisons are size-gated
             assert cc.get("identical_hierarchy") is True, f"{path}: {name}"
+    rp = doc.get("repartition")
+    assert rp, f"{path}: no repartition block"
+    for field in ("name", "nodes", "k", "steps", "warm_s", "scratch_s",
+                  "speedup", "cut_ratio", "migration_fraction", "warm_rate"):
+        assert field in rp, f"{path}: repartition block missing {field}"
+    assert rp["steps"] > 0, f"{path}: repartition ran no drift steps"
+    assert rp["warm_rate"] == 1.0, (
+        f"{path}: only {rp['warm_rate'] * 100:.0f}% of drift steps "
+        "warm-started — the incremental path fell back to scratch"
+    )
+    assert 0.0 <= rp["migration_fraction"] <= 1.0, (
+        f"{path}: migration fraction {rp['migration_fraction']} out of range"
+    )
 
 
 def check_budget_overhead(doc, min_time):
@@ -181,6 +208,37 @@ def check_trace_overhead(doc, min_time):
     return failures
 
 
+def check_repartition(doc):
+    """Gate the incremental-vs-scratch claim on the full-size row.
+
+    Smoke rows are shape-checked only (the speedup on a small graph
+    measures fixed costs); the 32k-node drifting row must show the
+    warm path at least ``REPART_MIN_SPEEDUP``x faster with an
+    aggregate cut within ``REPART_MAX_CUT_RATIO`` of from-scratch.
+    """
+    failures = []
+    rp = doc["repartition"]
+    gated = rp["nodes"] >= REPART_GATE_NODES
+    verdict = ""
+    if gated:
+        ok = (rp["speedup"] >= REPART_MIN_SPEEDUP
+              and rp["cut_ratio"] <= REPART_MAX_CUT_RATIO)
+        verdict = "ok (gated)" if ok else "FAIL"
+        if rp["speedup"] < REPART_MIN_SPEEDUP:
+            failures.append(
+                f"{rp['name']}: incremental repartitioning only "
+                f"{rp['speedup']:.2f}x faster than from-scratch "
+                f"(floor {REPART_MIN_SPEEDUP}x)")
+        if rp["cut_ratio"] > REPART_MAX_CUT_RATIO:
+            failures.append(
+                f"{rp['name']}: warm-start cut {rp['cut_ratio']:.4f}x "
+                f"the from-scratch cut (ceiling {REPART_MAX_CUT_RATIO}x)")
+    print(f"  {rp['name']:<20} speedup {rp['speedup']:6.2f}x  "
+          f"cut ratio {rp['cut_ratio']:.4f}  "
+          f"migration {rp['migration_fraction']:.4f}  {verdict}")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -205,17 +263,20 @@ def main():
     overhead_failures += check_memory_overhead(fresh, args.min_time)
     print("armed-trace overhead (fresh document):")
     overhead_failures += check_trace_overhead(fresh, args.min_time)
+    print("incremental repartitioning vs from-scratch (fresh document):")
+    overhead_failures += check_repartition(fresh)
     if overhead_failures:
         print("\nperf regression gate FAILED:")
         for f in overhead_failures:
             print(f"  - {f}")
         return 1
 
-    # schema-4/5/6 baselines predate the memory block (6 also the trace
-    # block, 4 also the budgeted block) but their timing rows compare
-    # one-to-one; anything older has no comparable shape
-    if base.get("schema") not in (4, 5, 6, 7):
-        print(f"note: baseline schema {base.get('schema')} not in (4, 5, 6, 7) — "
+    # schema-4..7 baselines predate the repartition block (7 also the
+    # memory block, 6 the trace block, 4 the budgeted block) but their
+    # timing rows compare one-to-one; anything older has no comparable
+    # shape
+    if base.get("schema") not in (4, 5, 6, 7, 8):
+        print(f"note: baseline schema {base.get('schema')} not in (4..8) — "
               "shape-checked fresh document only, no timing comparison")
         return 0
 

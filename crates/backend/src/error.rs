@@ -135,6 +135,33 @@ pub fn validate_instance(inst: &PartitionInstance) -> Result<(), PartitionError>
         instance: inst.name.clone(),
         reason,
     };
+    validate_instance_shape(inst)?;
+    inst.graph.validate().map_err(|e| invalid(e.to_string()))?;
+    if let Some(hg) = &inst.hyper {
+        hg.validate().map_err(invalid)?;
+        if hg.num_nodes() != inst.graph.num_nodes() {
+            return Err(invalid(format!(
+                "hypergraph covers {} nodes, graph {}",
+                hg.num_nodes(),
+                inst.graph.num_nodes()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The instance-level subset of [`validate_instance`]: `k` in `1..=n`,
+/// nonzero `Rmax`/`Bmax`, and weight totals that fit in `u64` — but not
+/// the structural graph pass (adjacency ↔ edge-list agreement,
+/// duplicate edges). For callers whose graph is valid by construction
+/// — [`GraphDelta::apply`](ppn_graph::GraphDelta::apply) rebuilds from
+/// an already-validated base — re-proving structure would double the
+/// cost of an incremental warm start.
+pub fn validate_instance_shape(inst: &PartitionInstance) -> Result<(), PartitionError> {
+    let invalid = |reason: String| PartitionError::InvalidInstance {
+        instance: inst.name.clone(),
+        reason,
+    };
     if inst.k == 0 {
         return Err(invalid("k must be at least 1".into()));
     }
@@ -151,7 +178,6 @@ pub fn validate_instance(inst: &PartitionInstance) -> Result<(), PartitionError>
     if inst.constraints.bmax == 0 {
         return Err(invalid("Bmax must be positive".into()));
     }
-    inst.graph.validate().map_err(|e| invalid(e.to_string()))?;
     // Engines and metrics sum weights in u64; reject instances whose
     // totals would wrap rather than letting a hot loop overflow.
     let mut total_w: u64 = 0;
@@ -165,16 +191,6 @@ pub fn validate_instance(inst: &PartitionInstance) -> Result<(), PartitionError>
         total_b = total_b
             .checked_add(w)
             .ok_or_else(|| invalid("total edge weight overflows u64".into()))?;
-    }
-    if let Some(hg) = &inst.hyper {
-        hg.validate().map_err(invalid)?;
-        if hg.num_nodes() != inst.graph.num_nodes() {
-            return Err(invalid(format!(
-                "hypergraph covers {} nodes, graph {}",
-                hg.num_nodes(),
-                inst.graph.num_nodes()
-            )));
-        }
     }
     Ok(())
 }

@@ -31,21 +31,29 @@
 //! asserts for every backend × instance × seed cell.
 
 pub mod backends;
+pub mod batch;
 pub mod error;
 pub mod instance;
 pub mod outcome;
 pub mod registry;
+pub mod repartition;
 pub mod robust;
 pub mod suite;
 
 pub use backends::{GpBackend, HyperBackend, KwayBackend, MetisBackend, RbBackend};
-pub use error::{validate_instance, ExhaustKind, PartitionError};
+pub use batch::{BatchItemResult, BatchSession, BatchSummary};
+pub use error::{validate_instance, validate_instance_shape, ExhaustKind, PartitionError};
 pub use instance::PartitionInstance;
-pub use outcome::{Completion, CostModel, CostReport, PartitionOutcome, PhaseTiming};
-pub use ppn_graph::{trace, Budget, Degradation};
+pub use outcome::{
+    Completion, CostModel, CostReport, MigrationReport, PartitionOutcome, PhaseTiming,
+};
+pub use ppn_graph::{trace, Budget, Degradation, DeltaMap, GraphDelta};
 pub use registry::{backend_by_name, backend_names, backends};
-pub use robust::{robust_partition, BackendAttempt, RobustOutcome};
-pub use suite::{conformance_matrix, degenerate_matrix, infeasible_matrix, reference_verify};
+pub use repartition::{repartition, RepartitionOptions, RepartitionOutcome};
+pub use robust::{robust_partition, validate_chain, BackendAttempt, RobustOutcome};
+pub use suite::{
+    conformance_matrix, degenerate_matrix, incremental_matrix, infeasible_matrix, reference_verify,
+};
 
 use ppn_graph::Constraints;
 

@@ -25,6 +25,30 @@ impl std::fmt::Display for CostModel {
     }
 }
 
+/// Cut-vs-migration trade-off of an incremental repartition: how much
+/// of the deployment had to move relative to the previous assignment.
+/// All integer so the report stays `Eq` and bit-deterministic; the
+/// fraction is derived on demand.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationReport {
+    /// Node weight placed off its previous (projected) part.
+    pub mass: u64,
+    /// Total node weight of the repartitioned graph (the fraction's
+    /// denominator).
+    pub total: u64,
+}
+
+impl MigrationReport {
+    /// Migrated fraction of the total node weight, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.mass as f64 / self.total as f64
+        }
+    }
+}
+
 /// The cost side of an outcome — the row a comparison table prints.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CostReport {
@@ -41,6 +65,11 @@ pub struct CostReport {
     pub max_local_bandwidth: u64,
     /// Per-part resource usage.
     pub part_resources: Vec<u64>,
+    /// Migration cost relative to a previous assignment; populated by
+    /// `repartition`, absent on from-scratch runs (and on outcomes
+    /// serialised before the service layer existed).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub migration: Option<MigrationReport>,
 }
 
 /// Whether a backend ran to completion or returned best-so-far because
@@ -147,6 +176,7 @@ impl PartitionOutcome {
                 max_resource: q.max_resource,
                 max_local_bandwidth: q.max_local_bandwidth,
                 part_resources: q.part_resources,
+                migration: None,
             },
             report,
             feasible,
@@ -176,6 +206,7 @@ impl PartitionOutcome {
                 max_resource: q.max_resource,
                 max_local_bandwidth: q.max_local_bandwidth,
                 part_resources: q.part_resources,
+                migration: None,
             },
             report,
             feasible,

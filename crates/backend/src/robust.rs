@@ -60,6 +60,26 @@ impl RobustOutcome {
 /// baseline that always produces *some* balanced assignment.
 pub const DEFAULT_FALLBACK_CHAIN: &[&str] = &["gp", "rb", "metis"];
 
+/// Resolve every name of a fallback chain up front, naming the first
+/// entry that does not exist. A chain is configuration, not data: an
+/// unknown backend in position 3 must fail before position 1 burns its
+/// attempt, not at attempt time (callers would otherwise see the typo
+/// only on the day the earlier backends happen to fail).
+pub fn validate_chain(chain: &[&str]) -> Result<(), PartitionError> {
+    for &name in chain {
+        if backend_by_name(name).is_none() {
+            return Err(PartitionError::UnknownBackend {
+                name: name.to_string(),
+                available: crate::registry::backend_names()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Run `inst` through `chain` (backend names, in fallback order; empty
 /// means [`DEFAULT_FALLBACK_CHAIN`]) under one shared `budget`. Returns
 /// the first backend's outcome that survives the hardened boundary,
@@ -90,6 +110,7 @@ pub fn robust_partition(
     } else {
         chain
     };
+    validate_chain(chain)?;
     let mut attempts: Vec<BackendAttempt> = Vec::with_capacity(chain.len());
     let _chain_sp = trace::span("robust", "chain", chain.len() as i64);
     if let Some(r) = run_chain(inst, seed, budget, chain, &mut attempts, "")? {
@@ -230,6 +251,23 @@ mod tests {
     fn unknown_backend_in_chain_is_a_config_error() {
         let err = robust_partition(&inst(2), 7, &Budget::unlimited(), &["gp2"]).unwrap_err();
         assert!(matches!(err, PartitionError::UnknownBackend { .. }));
+    }
+
+    #[test]
+    fn unknown_backend_mid_chain_fails_before_any_attempt() {
+        // "gp" would answer immediately — but the chain as configured is
+        // broken, and that must surface up front, naming the bad entry
+        let err =
+            robust_partition(&inst(2), 7, &Budget::unlimited(), &["gp", "tpyo", "rb"]).unwrap_err();
+        match err {
+            PartitionError::UnknownBackend { name, .. } => assert_eq!(name, "tpyo"),
+            other => panic!("expected UnknownBackend, got {other:?}"),
+        }
+        assert!(validate_chain(&["gp", "rb", "metis"]).is_ok());
+        assert!(matches!(
+            validate_chain(&["rb", "nope"]).unwrap_err(),
+            PartitionError::UnknownBackend { .. }
+        ));
     }
 
     #[test]

@@ -6,7 +6,8 @@ use crate::instance::PartitionInstance;
 use crate::outcome::{CostModel, PartitionOutcome};
 use ppn_gen::{chain_graph, clique_graph, community_graph, multicast_network, MulticastSpec};
 use ppn_graph::metrics::PartitionQuality;
-use ppn_graph::{Constraints, Partition};
+use ppn_graph::prng::XorShift128Plus;
+use ppn_graph::{Constraints, GraphDelta, Partition};
 use ppn_hyper::HyperQuality;
 
 /// The regular conformance matrix: every backend must produce a valid,
@@ -99,6 +100,98 @@ pub fn degenerate_matrix(seed: u64) -> Vec<PartitionInstance> {
     let k1 = PartitionInstance::from_graph("chain-k1", g, 1, c);
 
     vec![k_gt_n, k1]
+}
+
+/// The incremental-repartitioning matrix: `(base instance, delta)`
+/// pairs for the differential "warm-start quality within ε of
+/// from-scratch" family. Each delta is small (well under the default
+/// churn ceiling) so [`repartition`](crate::repartition) takes the
+/// warm-start path; the differential suite then checks the warm cut
+/// against a from-scratch solve of the successor instance. Families:
+/// pure weight drift, node insertion, node removal, and a mixed churn
+/// of all three.
+pub fn incremental_matrix(seed: u64) -> Vec<(PartitionInstance, GraphDelta)> {
+    let mut rng = XorShift128Plus::new(seed ^ 0x1C4E);
+    let mut m = Vec::new();
+
+    // Pure weight drift: no structural change, the warm start should
+    // barely move anything.
+    let g = community_graph(4, 16, 3, 12, 1, seed);
+    let n = g.num_nodes();
+    let total = g.total_node_weight();
+    let c = Constraints::new(
+        (total as f64 / 4.0 * 1.5).ceil() as u64,
+        g.total_edge_weight() / 3,
+    );
+    let mut delta = GraphDelta::default();
+    for _ in 0..n / 20 {
+        let v = rng.next_below(n) as u32;
+        if !delta.node_drift.iter().any(|&(u, _)| u == v) {
+            delta.node_drift.push((v, 1 + rng.next_below(6) as u64));
+        }
+    }
+    m.push((
+        PartitionInstance::from_graph("drift-communities", g, 4, c),
+        delta,
+    ));
+
+    // Insertion: a few new nodes hang off existing ones; the placer has
+    // to find them homes before refinement.
+    let g = chain_graph(40, (2, 8), (1, 6), seed);
+    let n = g.num_nodes();
+    let total = g.total_node_weight();
+    let c = Constraints::new((total as f64 / 4.0 * 1.7).ceil() as u64, 1_000);
+    let mut delta = GraphDelta::default();
+    for i in 0..2 {
+        let virt = (n + i) as u32;
+        delta.add_nodes.push(3);
+        delta
+            .add_edges
+            .push((virt, rng.next_below(n) as u32, 1 + rng.next_below(4) as u64));
+    }
+    m.push((
+        PartitionInstance::from_graph("insert-chain", g, 4, c),
+        delta,
+    ));
+
+    // Removal: survivors keep their parts, the answer shrinks.
+    let g = community_graph(3, 12, 2, 9, 1, seed.wrapping_add(1));
+    let n = g.num_nodes();
+    let total = g.total_node_weight();
+    let c = Constraints::new(
+        (total as f64 / 3.0 * 1.6).ceil() as u64,
+        g.total_edge_weight() / 3,
+    );
+    let delta = GraphDelta {
+        remove_nodes: vec![rng.next_below(n) as u32],
+        ..GraphDelta::default()
+    };
+    m.push((
+        PartitionInstance::from_graph("remove-communities", g, 3, c),
+        delta,
+    ));
+
+    // Mixed churn: drift + one insertion + one edge-weight edit, still
+    // under the churn ceiling.
+    let g = community_graph(4, 20, 3, 10, 1, seed.wrapping_add(2));
+    let n = g.num_nodes();
+    let total = g.total_node_weight();
+    let c = Constraints::new(
+        (total as f64 / 4.0 * 1.6).ceil() as u64,
+        g.total_edge_weight() / 3,
+    );
+    let mut delta = GraphDelta::default();
+    delta.node_drift.push((rng.next_below(n) as u32, 7));
+    delta.add_nodes.push(2);
+    delta
+        .add_edges
+        .push((n as u32, rng.next_below(n) as u32, 3));
+    m.push((
+        PartitionInstance::from_graph("mixed-communities", g, 4, c),
+        delta,
+    ));
+
+    m
 }
 
 /// Independently re-derive everything a backend reported from its raw
@@ -238,6 +331,21 @@ mod tests {
         reference_verify(inst, &out).unwrap();
         out.cost.objective += 1;
         assert!(reference_verify(inst, &out).is_err());
+    }
+
+    #[test]
+    fn incremental_family_deltas_apply_and_stay_small() {
+        for (inst, delta) in incremental_matrix(0xC0FFEE) {
+            assert!(!delta.is_empty(), "{}: empty delta", inst.name);
+            let churn = delta.churn_fraction(inst.num_nodes());
+            assert!(
+                churn <= 0.25,
+                "{}: churn {churn} above the warm-start ceiling",
+                inst.name
+            );
+            ppn_graph::apply_delta(&inst.graph, &delta)
+                .unwrap_or_else(|e| panic!("{}: delta does not apply: {e}", inst.name));
+        }
     }
 
     #[test]

@@ -54,7 +54,8 @@ use gp_core::{
     constrained_refine_reference, gp_coarsen_flat_observed, gp_coarsen_reference, gp_partition,
     gp_partition_budgeted, greedy_initial_partition, FlatHierarchy, GpParams, InitialOptions,
 };
-use ppn_gen::{dense_community_graph, multicast_network, MulticastSpec};
+use ppn_backend::{repartition, robust_partition, PartitionInstance, RepartitionOptions};
+use ppn_gen::{dense_community_graph, drift_delta, multicast_network, MulticastSpec};
 use ppn_graph::metrics::{edge_cut, PartitionQuality};
 use ppn_graph::prng::derive_seed;
 use ppn_graph::trace::{self, TraceConfig};
@@ -673,6 +674,93 @@ fn hyper_workloads(smoke: bool, reps: usize) -> Vec<serde_json::Value> {
         .collect()
 }
 
+/// Incremental repartitioning vs from-scratch on a drifting workload:
+/// one planted instance is solved cold, then drifts for `steps` steps
+/// (≤5% of nodes perturbed per step, one insertion and one removal),
+/// each step answered twice — warm (`repartition`, λ=1000 so the
+/// quality comparison is apples to apples) and cold (`robust_partition`
+/// on the same successor instance). The block records the aggregate
+/// warm-vs-scratch speedup, the aggregate cut ratio, and the mean
+/// migration fraction — the three numbers `ci/perf_gate.py` gates on
+/// the full-size row.
+fn measure_repartition(smoke: bool) -> serde_json::Value {
+    let (communities, n_per, chords, k, steps) = if smoke {
+        (8, 512, 4, 8, 3)
+    } else {
+        (16, 2048, 8, 16, 5)
+    };
+    let g = dense_community_graph(communities, n_per, (2, 9), 12, 2, chords, 99);
+    let rmax = (g.total_node_weight() as f64 / k as f64 * 1.25).ceil() as u64;
+    let cons = Constraints::new(rmax, g.total_edge_weight() / k as u64);
+    let name = format!("drift-{}x{k}", communities * n_per);
+    let mut inst = PartitionInstance::from_graph(name.clone(), g, k, cons);
+    let budget = Budget::unlimited();
+    let mut prev = robust_partition(&inst, 7, &budget, &[])
+        .unwrap()
+        .outcome
+        .partition;
+    let opts = RepartitionOptions {
+        lambda_permille: 1000,
+        ..RepartitionOptions::default()
+    };
+
+    let (mut warm_s, mut scratch_s) = (0.0f64, 0.0f64);
+    let (mut warm_cut, mut scratch_cut) = (0u64, 0u64);
+    let mut migration_sum = 0.0f64;
+    let mut warm_steps = 0usize;
+    for step in 0..steps {
+        let delta = drift_delta(&inst.graph, 0.05, true, 0xD21F + step as u64);
+        let t0 = Instant::now();
+        let r = repartition(&inst, &prev, &delta, &opts, 7, &budget)
+            .unwrap_or_else(|e| panic!("{name} step {step}: {e}"));
+        warm_s += t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let cold = robust_partition(&r.instance, 7, &budget, &[])
+            .unwrap_or_else(|e| panic!("{name} step {step} scratch: {e}"));
+        scratch_s += t0.elapsed().as_secs_f64();
+        warm_steps += r.warm_start as usize;
+        warm_cut += r.outcome.cost.objective;
+        scratch_cut += cold.outcome.cost.objective;
+        migration_sum += r
+            .outcome
+            .cost
+            .migration
+            .as_ref()
+            .map(|m| m.fraction())
+            .unwrap_or(0.0);
+        inst = r.instance;
+        prev = r.outcome.partition;
+    }
+    let speedup = scratch_s / warm_s.max(1e-9);
+    let cut_ratio = warm_cut as f64 / (scratch_cut as f64).max(1e-9);
+    let migration_fraction = migration_sum / steps as f64;
+    println!(
+        "{:<18} n={:<7} steps={steps}  warm {:>8.4}s  scratch {:>8.4}s  speedup {:>6.2}x  cut ratio {:.4}  migration {:.4}",
+        name,
+        inst.num_nodes(),
+        warm_s,
+        scratch_s,
+        speedup,
+        cut_ratio,
+        migration_fraction,
+    );
+    serde_json::json!({
+        "name": name,
+        "nodes": inst.num_nodes(),
+        "k": k,
+        "steps": steps,
+        "fraction": 0.05,
+        "warm_s": warm_s,
+        "scratch_s": scratch_s,
+        "speedup": speedup,
+        "warm_cut_total": warm_cut,
+        "scratch_cut_total": scratch_cut,
+        "cut_ratio": cut_ratio,
+        "migration_fraction": migration_fraction,
+        "warm_rate": warm_steps as f64 / steps as f64,
+    })
+}
+
 /// `PERF_INJECT_SLOWDOWN=phase:factor`: multiply one recorded phase
 /// time in every workload row by `factor` before the JSON is written.
 /// Exists solely so CI can prove the regression gate actually fails on
@@ -735,9 +823,12 @@ fn main() {
     println!("\nedge-cut vs connectivity objective on multicast networks:");
     let hyper_rows = hyper_workloads(smoke, base_reps);
 
+    println!("\nincremental repartitioning vs from-scratch on drifting workloads:");
+    let repart = measure_repartition(smoke);
+
     let injected = apply_injection(&mut measured);
     let doc = serde_json::json!({
-        "schema": 7,
+        "schema": 8,
         "mode": if smoke { "smoke" } else { "full" },
         "threads": threads,
         "calibration_s": calibration_s,
@@ -746,6 +837,7 @@ fn main() {
             .unwrap_or(serde_json::Value::Null),
         "workloads": measured,
         "hyper_workloads": hyper_rows,
+        "repartition": repart,
     });
     std::fs::write(&out_path, serde_json::to_string_pretty(&doc).unwrap())
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));

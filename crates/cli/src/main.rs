@@ -19,8 +19,9 @@
 //! backends on other formats see the degenerate 2-pin embedding.
 
 use ppn_backend::{
-    backend_by_name, backend_names, backends, robust_partition, trace, validate_instance, Budget,
-    Completion, CostModel, PartitionError, PartitionInstance,
+    backend_by_name, backend_names, backends, repartition, robust_partition, trace,
+    validate_instance, BatchSession, Budget, Completion, CostModel, GraphDelta, PartitionError,
+    PartitionInstance, RepartitionOptions,
 };
 use ppn_graph::io::dot::{to_dot, DotOptions};
 use ppn_graph::io::{json, matrix, metis};
@@ -32,7 +33,7 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  gp partition --input FILE --k K --rmax R --bmax B \\\n      [--format metis|matrix|json|ppn] [--backend {} or a,b,... fallback chain] \\\n      [--model edge|hyper] [--seed N] [--budget-ms N] [--memory-mb N] [--baseline] \\\n      [--dot FILE] [--out FILE] \\\n      [--trace FILE] [--trace-format jsonl|chrome|summary] [--verbose]\n  gp backends\n  gp demo [1|2|3]\n  gp gen --nodes N --edges M [--seed S]\n  gp gen --multicast --stars S --fanout F [--seed N]",
+        "usage:\n  gp partition --input FILE --k K --rmax R --bmax B \\\n      [--format metis|matrix|json|ppn] [--backend {} or a,b,... fallback chain] \\\n      [--model edge|hyper] [--seed N] [--budget-ms N] [--memory-mb N] [--baseline] \\\n      [--dot FILE] [--out FILE] \\\n      [--trace FILE] [--trace-format jsonl|chrome|summary] [--verbose]\n  gp serve --batch FILE [--seed N] [--trace FILE]\n  gp repartition --input FILE --k K --rmax R --bmax B --prev FILE --delta FILE \\\n      [--format metis|matrix|json|ppn] [--lambda PERMILLE] [--max-churn FRAC] \\\n      [--seed N] [--budget-ms N] [--memory-mb N] [--out FILE] [--trace FILE]\n  gp backends\n  gp demo [1|2|3]\n  gp gen --nodes N --edges M [--seed S]\n  gp gen --multicast --stars S --fanout F [--seed N]",
         backend_names().join("|")
     );
     ExitCode::from(2)
@@ -46,6 +47,60 @@ fn arg_value(args: &[String], name: &str) -> Option<String> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Parse an optional numeric flag. A present-but-malformed value is an
+/// error naming the flag and the offending text — never a silent fall
+/// back to the default (`--seed abc` must not quietly mean `--seed
+/// 3458938`).
+fn num_flag<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+    what: &str,
+) -> Result<Option<T>, ExitCode> {
+    match arg_value(args, name) {
+        None => Ok(None),
+        Some(v) => match v.parse::<T>() {
+            Ok(t) => Ok(Some(t)),
+            Err(_) => {
+                eprintln!("error: {name} takes {what}, got `{v}`");
+                Err(ExitCode::from(2))
+            }
+        },
+    }
+}
+
+/// `num_flag` for values that must also be nonzero (`--k 0` is as
+/// malformed as `--k abc`).
+fn positive_flag(args: &[String], name: &str, what: &str) -> Result<Option<u64>, ExitCode> {
+    match num_flag::<u64>(args, name, what)? {
+        Some(0) => {
+            eprintln!("error: {name} takes {what}, got `0`");
+            Err(ExitCode::from(2))
+        }
+        other => Ok(other),
+    }
+}
+
+macro_rules! try_flag {
+    ($e:expr) => {
+        match $e {
+            Ok(v) => v,
+            Err(code) => return code,
+        }
+    };
+}
+
+/// The shared `--budget-ms` / `--memory-mb` pair as one [`Budget`].
+fn budget_flags(args: &[String]) -> Result<Budget, ExitCode> {
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = num_flag::<u64>(args, "--budget-ms", "a whole number of milliseconds")? {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(mb) = positive_flag(args, "--memory-mb", "a positive whole number of MiB")? {
+        budget = budget.with_max_bytes(mb * 1024 * 1024);
+    }
+    Ok(budget)
 }
 
 /// The partitionable forms of an input file: the edge-cut graph always,
@@ -79,14 +134,23 @@ fn load_instance(path: &str, format: &str, want_hyper: bool) -> Result<LoadedIns
 }
 
 fn cmd_partition(args: &[String]) -> ExitCode {
-    let (Some(input), Some(k), Some(rmax), Some(bmax)) = (
-        arg_value(args, "--input"),
-        arg_value(args, "--k").and_then(|v| v.parse::<usize>().ok()),
-        arg_value(args, "--rmax").and_then(|v| v.parse::<u64>().ok()),
-        arg_value(args, "--bmax").and_then(|v| v.parse::<u64>().ok()),
-    ) else {
+    let k = try_flag!(positive_flag(args, "--k", "a positive part count"));
+    let rmax = try_flag!(num_flag::<u64>(
+        args,
+        "--rmax",
+        "a whole-number resource limit"
+    ));
+    let bmax = try_flag!(num_flag::<u64>(
+        args,
+        "--bmax",
+        "a whole-number bandwidth limit"
+    ));
+    let (Some(input), Some(k), Some(rmax), Some(bmax)) =
+        (arg_value(args, "--input"), k, rmax, bmax)
+    else {
         return usage();
     };
+    let k = k as usize;
     let format = arg_value(args, "--format").unwrap_or_else(|| "metis".into());
     let model = arg_value(args, "--model").unwrap_or_else(|| "edge".into());
     if model != "edge" && model != "hyper" {
@@ -150,28 +214,8 @@ fn cmd_partition(args: &[String]) -> ExitCode {
             }
         }
     }
-    let seed = arg_value(args, "--seed")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0xCA77Au64);
-    let mut budget = match arg_value(args, "--budget-ms") {
-        None => Budget::unlimited(),
-        Some(v) => match v.parse::<u64>() {
-            Ok(ms) => Budget::unlimited().with_deadline(Duration::from_millis(ms)),
-            Err(_) => {
-                eprintln!("error: --budget-ms takes a whole number of milliseconds, got `{v}`");
-                return usage();
-            }
-        },
-    };
-    if let Some(v) = arg_value(args, "--memory-mb") {
-        match v.parse::<u64>() {
-            Ok(mb) if mb > 0 => budget = budget.with_max_bytes(mb * 1024 * 1024),
-            _ => {
-                eprintln!("error: --memory-mb takes a positive whole number of MiB, got `{v}`");
-                return usage();
-            }
-        }
-    }
+    let seed = try_flag!(num_flag::<u64>(args, "--seed", "a whole-number seed")).unwrap_or(0xCA77A);
+    let budget = try_flag!(budget_flags(args));
     let verbose = has_flag(args, "--verbose");
     let trace_path = arg_value(args, "--trace");
     let trace_format = match arg_value(args, "--trace-format") {
@@ -364,7 +408,16 @@ fn cmd_backends() -> ExitCode {
 }
 
 fn cmd_demo(args: &[String]) -> ExitCode {
-    let which: usize = args.first().and_then(|v| v.parse().ok()).unwrap_or(1);
+    let which: usize = match args.first() {
+        None => 1,
+        Some(v) => match v.parse() {
+            Ok(w) => w,
+            Err(_) => {
+                eprintln!("error: demo takes an experiment number (1|2|3), got `{v}`");
+                return ExitCode::from(2);
+            }
+        },
+    };
     let e = match which {
         1 => ppn_gen::paper::experiment1(),
         2 => ppn_gen::paper::experiment2(),
@@ -396,16 +449,12 @@ fn cmd_demo(args: &[String]) -> ExitCode {
 }
 
 fn cmd_gen(args: &[String]) -> ExitCode {
+    let seed = try_flag!(num_flag::<u64>(args, "--seed", "a whole-number seed")).unwrap_or(1);
     if has_flag(args, "--multicast") {
-        let stars = arg_value(args, "--stars")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(8usize);
-        let fanout = arg_value(args, "--fanout")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(4usize);
-        let seed = arg_value(args, "--seed")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1u64);
+        let stars = try_flag!(positive_flag(args, "--stars", "a positive star count")).unwrap_or(8)
+            as usize;
+        let fanout =
+            try_flag!(positive_flag(args, "--fanout", "a positive fanout")).unwrap_or(4) as usize;
         if fanout < 2 {
             eprintln!("error: --fanout must be at least 2");
             return usage();
@@ -418,15 +467,23 @@ fn cmd_gen(args: &[String]) -> ExitCode {
         println!("{}", serde_json::to_string(&net).unwrap());
         return ExitCode::SUCCESS;
     }
-    let nodes = arg_value(args, "--nodes")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(12usize);
-    let edges = arg_value(args, "--edges")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2 * nodes);
-    let seed = arg_value(args, "--seed")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1u64);
+    let nodes =
+        try_flag!(positive_flag(args, "--nodes", "a positive node count")).unwrap_or(12) as usize;
+    let edges = try_flag!(num_flag::<usize>(
+        args,
+        "--edges",
+        "a whole-number edge count"
+    ))
+    .unwrap_or(2 * nodes);
+    // a simple undirected graph on n nodes holds at most n(n-1)/2
+    // edges; asking for more would previously be clamped in silence
+    let max_edges = nodes * (nodes - 1) / 2;
+    if edges > max_edges {
+        eprintln!(
+            "error: --edges {edges} exceeds the {max_edges} possible simple edges on {nodes} nodes"
+        );
+        return ExitCode::from(2);
+    }
     let g = ppn_gen::random_graph(&ppn_gen::RandomGraphSpec {
         nodes,
         edges,
@@ -438,10 +495,292 @@ fn cmd_gen(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One request of a `gp serve --batch` file.
+#[derive(serde::Deserialize)]
+struct BatchItemSpec {
+    input: String,
+    #[serde(default)]
+    format: Option<String>,
+    k: usize,
+    rmax: u64,
+    bmax: u64,
+}
+
+/// The `gp serve --batch` file: shared chain/budget/seed plus the item
+/// list. Item paths resolve relative to the batch file's directory.
+#[derive(serde::Deserialize)]
+struct BatchFileSpec {
+    #[serde(default)]
+    chain: Vec<String>,
+    #[serde(default)]
+    seed: Option<u64>,
+    #[serde(default)]
+    budget_ms: Option<u64>,
+    #[serde(default)]
+    memory_mb: Option<u64>,
+    items: Vec<BatchItemSpec>,
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let Some(batch_path) = arg_value(args, "--batch") else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(&batch_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {batch_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec: BatchFileSpec = match serde_json::from_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {batch_path}: bad batch JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if spec.items.is_empty() {
+        eprintln!("error: {batch_path}: batch has no items");
+        return ExitCode::FAILURE;
+    }
+    let seed = try_flag!(num_flag::<u64>(args, "--seed", "a whole-number seed"))
+        .or(spec.seed)
+        .unwrap_or(0xCA77A);
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = spec.budget_ms {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(mb) = spec.memory_mb {
+        budget = budget.with_max_bytes(mb.max(1) * 1024 * 1024);
+    }
+    let base_dir = std::path::Path::new(&batch_path)
+        .parent()
+        .map(|p| p.to_path_buf())
+        .unwrap_or_default();
+    let mut session = BatchSession::new(budget).with_chain(spec.chain);
+    for item in &spec.items {
+        let path = {
+            let p = std::path::Path::new(&item.input);
+            if p.is_absolute() {
+                p.to_path_buf()
+            } else {
+                base_dir.join(p)
+            }
+        };
+        let format = item.format.as_deref().unwrap_or("metis");
+        let loaded = match load_instance(&path.to_string_lossy(), format, false) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // item names use the file name, not the resolved path, so batch
+        // output is stable across checkouts
+        let name = std::path::Path::new(&item.input)
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| item.input.clone());
+        session.push(PartitionInstance::from_graph(
+            name,
+            loaded.graph,
+            item.k,
+            Constraints::new(item.rmax, item.bmax),
+        ));
+    }
+    let trace_path = arg_value(args, "--trace");
+    if trace_path.is_some() {
+        trace::start(trace::TraceConfig::default());
+    }
+    let summary = match session.run(seed) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &trace_path {
+        let session = trace::stop();
+        if let Err(e) = std::fs::write(path, session.render(trace::TraceFormat::Chrome)) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote trace {path} ({} events)", session.event_count());
+    }
+    for item in &summary.items {
+        match &item.result {
+            Ok(r) => {
+                let o = &r.outcome;
+                println!(
+                    "item={} backend={} cut={} max_resource={} max_local_bandwidth={} => {}",
+                    item.name,
+                    o.backend,
+                    o.cost.objective,
+                    o.cost.max_resource,
+                    o.cost.max_local_bandwidth,
+                    o.report.summary()
+                );
+            }
+            Err(e) => println!("item={} error: {e}", item.name),
+        }
+    }
+    println!(
+        "batch: items={} served={} failed={} degraded={}",
+        summary.items.len(),
+        summary.served,
+        summary.failed,
+        summary.degraded
+    );
+    if summary.failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_repartition(args: &[String]) -> ExitCode {
+    let k = try_flag!(positive_flag(args, "--k", "a positive part count"));
+    let rmax = try_flag!(num_flag::<u64>(
+        args,
+        "--rmax",
+        "a whole-number resource limit"
+    ));
+    let bmax = try_flag!(num_flag::<u64>(
+        args,
+        "--bmax",
+        "a whole-number bandwidth limit"
+    ));
+    let (Some(input), Some(k), Some(rmax), Some(bmax), Some(prev_path), Some(delta_path)) = (
+        arg_value(args, "--input"),
+        k,
+        rmax,
+        bmax,
+        arg_value(args, "--prev"),
+        arg_value(args, "--delta"),
+    ) else {
+        return usage();
+    };
+    let k = k as usize;
+    let seed = try_flag!(num_flag::<u64>(args, "--seed", "a whole-number seed")).unwrap_or(0xCA77A);
+    let budget = try_flag!(budget_flags(args));
+    let mut opts = RepartitionOptions::default();
+    if let Some(lambda) = try_flag!(num_flag::<u32>(
+        args,
+        "--lambda",
+        "a cut weight in permille (0..=1000)"
+    )) {
+        if lambda > 1000 {
+            eprintln!("error: --lambda takes a cut weight in permille (0..=1000), got `{lambda}`");
+            return ExitCode::from(2);
+        }
+        opts.lambda_permille = lambda;
+    }
+    if let Some(churn) = try_flag!(num_flag::<f64>(
+        args,
+        "--max-churn",
+        "a churn fraction (0..=1)"
+    )) {
+        if !(0.0..=1.0).contains(&churn) {
+            eprintln!("error: --max-churn takes a churn fraction (0..=1), got `{churn}`");
+            return ExitCode::from(2);
+        }
+        opts.max_churn = churn;
+    }
+    if let Some(chain) = arg_value(args, "--backend") {
+        opts.chain = chain
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect();
+    }
+    let format = arg_value(args, "--format").unwrap_or_else(|| "metis".into());
+    let loaded = match load_instance(&input, &format, false) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let base = PartitionInstance::from_graph(&input, loaded.graph, k, Constraints::new(rmax, bmax));
+    let prev = match std::fs::read_to_string(&prev_path)
+        .map_err(|e| format!("{prev_path}: {e}"))
+        .and_then(|t| {
+            json::partition_from_json(&t).map_err(|e| format!("{prev_path}: bad partition: {e}"))
+        }) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let delta: GraphDelta = match std::fs::read_to_string(&delta_path)
+        .map_err(|e| format!("{delta_path}: {e}"))
+        .and_then(|t| {
+            serde_json::from_str(&t).map_err(|e| format!("{delta_path}: bad delta JSON: {e}"))
+        }) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace_path = arg_value(args, "--trace");
+    if trace_path.is_some() {
+        trace::start(trace::TraceConfig::default());
+    }
+    let result = repartition(&base, &prev, &delta, &opts, seed, &budget);
+    if let Some(path) = &trace_path {
+        let session = trace::stop();
+        if let Err(e) = std::fs::write(path, session.render(trace::TraceFormat::Chrome)) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote trace {path} ({} events)", session.event_count());
+    }
+    let r = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Completion::Degraded { phase, reason } = &r.outcome.completion {
+        eprintln!("warning: budget cut the warm start short in {phase}: {reason}");
+    }
+    let mig = r.outcome.cost.migration.as_ref().expect("always populated");
+    println!(
+        "mode={} backend={} nodes={} k={k} cut={} migration={}/{} max_resource={} max_local_bandwidth={} => {}",
+        if r.warm_start { "warm" } else { "scratch" },
+        r.outcome.backend,
+        r.instance.num_nodes(),
+        r.outcome.cost.objective,
+        mig.mass,
+        mig.total,
+        r.outcome.cost.max_resource,
+        r.outcome.cost.max_local_bandwidth,
+        r.outcome.report.summary()
+    );
+    if let Some(path) = arg_value(args, "--out") {
+        if let Err(e) = std::fs::write(&path, json::partition_to_json(&r.outcome.partition)) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if r.outcome.feasible {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("partition") => cmd_partition(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("repartition") => cmd_repartition(&args[1..]),
         Some("backends") => cmd_backends(),
         Some("demo") => cmd_demo(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),

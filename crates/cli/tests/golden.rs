@@ -125,6 +125,17 @@ fn backends_listing_is_byte_stable() {
 }
 
 #[test]
+fn serve_batch_is_byte_stable() {
+    // item paths resolve relative to the batch file and item names use
+    // the input's basename, so the batch summary is path-independent
+    let batch = golden_dir().join("serve2.batch.json");
+    run_case(
+        "serve_batch",
+        &["serve", "--batch", batch.to_str().unwrap()],
+    );
+}
+
+#[test]
 fn gen_is_byte_stable() {
     // the committed inputs themselves stay regenerable: gen with the
     // pinned seeds must reproduce them byte for byte

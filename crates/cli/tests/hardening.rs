@@ -140,7 +140,9 @@ fn provably_impossible_rmax_is_a_typed_infeasible_error() {
 fn k_zero_and_k_beyond_n_are_invalid_instances() {
     let dir = temp_dir("badk");
     let path = write_graph(&dir, "6", "8", "3");
-    for (k, needle) in [("0", "k must be"), ("99", "exceeds")] {
+    // `--k 0` is caught at flag parse (as malformed as `--k abc`);
+    // `--k 99` survives parsing and fails instance validation
+    for (k, needle) in [("0", "--k takes a positive part count"), ("99", "exceeds")] {
         let run = gp()
             .args([
                 "partition",
@@ -157,6 +159,98 @@ fn k_zero_and_k_beyond_n_are_invalid_instances() {
             .unwrap();
         assert_clean_failure(&run, needle);
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_numeric_flags_are_rejected_not_defaulted() {
+    let dir = temp_dir("badnum");
+    let path = write_graph(&dir, "8", "12", "5");
+    let base = [
+        "partition",
+        "--input",
+        path.to_str().unwrap(),
+        "--k",
+        "2",
+        "--rmax",
+        "100000",
+        "--bmax",
+        "100000",
+    ];
+    // every numeric flag: a malformed value must be a one-line error
+    // naming the flag and the offending text, never a silent default
+    for (flag, bad) in [
+        ("--seed", "abc"),
+        ("--k", "two"),
+        ("--rmax", "-1"),
+        ("--bmax", "1e9"),
+        ("--budget-ms", "-1"),
+    ] {
+        let mut args: Vec<&str> = base.to_vec();
+        if let Some(i) = args.iter().position(|a| *a == flag) {
+            args[i + 1] = bad;
+        } else {
+            args.push(flag);
+            args.push(bad);
+        }
+        let run = gp().args(&args).output().unwrap();
+        assert_clean_failure(&run, flag);
+        assert!(
+            stderr_of(&run).contains(&format!("`{bad}`")),
+            "{flag} {bad}: error must quote the offending value: {}",
+            stderr_of(&run)
+        );
+    }
+    // demo's positional argument gets the same treatment
+    let run = gp().args(["demo", "4x"]).output().unwrap();
+    assert_clean_failure(&run, "experiment number");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gen_rejects_impossible_edge_counts_at_the_boundary() {
+    // 6 nodes hold at most 15 simple edges: 15 generates, 16 errors
+    let ok = gp()
+        .args(["gen", "--nodes", "6", "--edges", "15", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(ok.status.success(), "{}", stderr_of(&ok));
+    let over = gp()
+        .args(["gen", "--nodes", "6", "--edges", "16", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert_clean_failure(&over, "exceeds the 15 possible simple edges");
+    // malformed counts go through the same numeric-flag validation
+    let bad = gp()
+        .args(["gen", "--nodes", "lots", "--edges", "9"])
+        .output()
+        .unwrap();
+    assert_clean_failure(&bad, "--nodes");
+}
+
+#[test]
+fn backend_chain_is_validated_up_front() {
+    let dir = temp_dir("badchain");
+    let path = write_graph(&dir, "8", "12", "6");
+    // the typo'd entry is named even though the first entry could have
+    // served — chains validate whole before any engine runs
+    let run = gp()
+        .args([
+            "partition",
+            "--input",
+            path.to_str().unwrap(),
+            "--k",
+            "2",
+            "--rmax",
+            "100000",
+            "--bmax",
+            "100000",
+            "--backend",
+            "gp,tpyo,rb",
+        ])
+        .output()
+        .unwrap();
+    assert_clean_failure(&run, "tpyo");
     std::fs::remove_dir_all(&dir).ok();
 }
 

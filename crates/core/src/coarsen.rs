@@ -59,6 +59,47 @@ use rayon::prelude::*;
 /// per-heuristic stream).
 const EDGE_ORDER_STREAM: u64 = 0xED6E;
 
+/// Reusable working memory retained *across* coarsening runs on one
+/// thread. A batch driver partitions many instances back to back; the
+/// tournament edge order and the contraction marker arrays are the two
+/// allocations every run rebuilds from scratch, and both only ever
+/// `clear()` + `resize()`, so parking them in a thread-local between
+/// runs makes the per-item setup allocation-free in steady state.
+#[derive(Default)]
+struct ScratchPool {
+    match_scratch: MatchScratch,
+    contract_scratch: ContractScratch,
+}
+
+thread_local! {
+    static SCRATCH_POOL: std::cell::RefCell<Option<ScratchPool>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Take the thread's parked scratch (fresh on the first run, or when a
+/// nested coarsen call already holds it).
+fn pool_take() -> ScratchPool {
+    match SCRATCH_POOL.with(|p| p.borrow_mut().take()) {
+        Some(pool) => {
+            trace::counter("batch", "scratch_reuse", 1);
+            pool
+        }
+        None => ScratchPool::default(),
+    }
+}
+
+/// Park the scratch for the thread's next run.
+fn pool_put(pool: ScratchPool) {
+    SCRATCH_POOL.with(|p| *p.borrow_mut() = Some(pool));
+}
+
+/// True when this thread has a parked scratch pool from an earlier run
+/// — i.e. the next coarsen call will amortize its setup. Exposed for
+/// the batch-session tests.
+pub fn scratch_pool_warm() -> bool {
+    SCRATCH_POOL.with(|p| p.borrow().is_some())
+}
+
 /// Which implementation of the coarsening hot paths to run. Both produce
 /// the bit-identical hierarchy per seed — `Reference` keeps the original
 /// O(n·k) Lloyd assignment, `find_edge`-probing contraction and
@@ -385,8 +426,11 @@ fn gp_coarsen_impl<'a>(
 ) -> GpHierarchy<'a> {
     let mut levels: Vec<GpLevel<'a>> = Vec::new();
     let mut current: Cow<'a, WeightedGraph> = g;
-    let mut match_scratch = MatchScratch::new();
-    let mut contract_scratch = ContractScratch::new();
+    let mut pool = pool_take();
+    let ScratchPool {
+        match_scratch,
+        contract_scratch,
+    } = &mut pool;
     let mut round = 0u64;
     while current.num_nodes() > coarsen_to {
         let t0 = std::time::Instant::now();
@@ -394,7 +438,7 @@ fn gp_coarsen_impl<'a>(
             kinds,
             current.as_ref(),
             derive_seed(seed, 0x6C + round),
-            &mut match_scratch,
+            match_scratch,
             backend,
         );
         let matching_s = t0.elapsed().as_secs_f64();
@@ -404,7 +448,7 @@ fn gp_coarsen_impl<'a>(
         }
         let t1 = std::time::Instant::now();
         let (coarse, map) = match backend {
-            CoarsenBackend::Optimized => contract_with(&current, &m, &mut contract_scratch),
+            CoarsenBackend::Optimized => contract_with(&current, &m, contract_scratch),
             CoarsenBackend::Reference => contract_reference(&current, &m),
         };
         observe(&LevelTiming {
@@ -425,6 +469,7 @@ fn gp_coarsen_impl<'a>(
         current = Cow::Owned(coarse);
         round += 1;
     }
+    pool_put(pool);
     GpHierarchy {
         levels,
         coarsest: current,
@@ -564,7 +609,8 @@ pub fn gp_coarsen_flat_budgeted_observed(
         res.shrink(est0.saturating_sub(arena.total_bytes() as u64));
     }
     let mut winners = Vec::new();
-    let mut match_scratch = MatchScratch::new();
+    let mut pool = pool_take();
+    let match_scratch = &mut pool.match_scratch;
     let mut round = 0u64;
     while cut_short.is_none() && arena.top().num_nodes() > coarsen_to {
         let _lvl = trace::span("gp", "coarsen_level", round as i64);
@@ -607,7 +653,7 @@ pub fn gp_coarsen_flat_budgeted_observed(
                 kinds,
                 &view,
                 derive_seed(seed, 0x6C + round),
-                &mut match_scratch,
+                match_scratch,
                 CoarsenBackend::Optimized,
             )
         };
@@ -639,6 +685,7 @@ pub fn gp_coarsen_flat_budgeted_observed(
     if let Some(reason) = &cut_short {
         trace::instant_label("gp", "coarsen_cut_short", round as i64, reason);
     }
+    pool_put(pool);
     (FlatHierarchy { arena, winners }, cut_short)
 }
 

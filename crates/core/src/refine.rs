@@ -307,6 +307,51 @@ impl ConstrainedState {
     }
 }
 
+/// Migration-aware objective for warm-started (incremental)
+/// refinement: alongside the cut, moves are charged for walking nodes
+/// *away from* a reference assignment (the previous deployment) and
+/// credited for walking them back.
+///
+/// The combined gain of a move is the integer form of the paper-style
+/// blend `λ·Δcut + (1−λ)·Δmigration`:
+///
+/// ```text
+/// score = lambda_permille · Δcut + (1000 − lambda_permille) · Δmigration
+/// ```
+///
+/// where `Δmigration` is the mover's node weight when the move leaves
+/// its reference part, its negation when the move returns to it, and 0
+/// otherwise (nodes with an [`Partition::UNASSIGNED`] reference — e.g.
+/// freshly inserted processes — migrate for free). Constraint
+/// violations stay lexicographically dominant: a violation-reducing
+/// move is taken regardless of its migration bill, so the hard
+/// `Rmax`/`Bmax` contracts of [`constrained_refine`] carry over
+/// unchanged. `lambda_permille = 1000` recovers the pure-cut objective
+/// over a different tie-break scale; `0` pins every node to its
+/// reference part unless constraints force it out.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrationOptions<'a> {
+    /// Reference part per node ([`Partition::UNASSIGNED`] = free
+    /// mover). Must cover every node of the refined graph.
+    pub reference: &'a [u32],
+    /// Weight (in per-mille) on `Δcut`; the remainder to 1000 weighs
+    /// `Δmigration`. Values above 1000 are clamped.
+    pub lambda_permille: u32,
+}
+
+/// Total node weight currently placed off its (non-`UNASSIGNED`)
+/// reference part — the "migration mass" a cut-vs-migration report
+/// divides by the total weight.
+pub fn migration_mass(reference: &[u32], assignment: &[u32], vwgt: &[u64]) -> u64 {
+    reference
+        .iter()
+        .zip(assignment)
+        .zip(vwgt)
+        .filter(|((&r, &a), _)| r != Partition::UNASSIGNED && r != a)
+        .map(|(_, &w)| w)
+        .sum()
+}
+
 /// Options for [`constrained_refine`].
 #[derive(Clone, Debug)]
 pub struct RefineOptions {
@@ -343,6 +388,36 @@ struct RefineEngine<'a> {
     /// Edge weight from the current swap pivot to every node (sparse
     /// fill/clear over its neighbourhood).
     uvw: Vec<u64>,
+    /// Warm-start migration objective; `None` on the classic cut-only
+    /// paths (which stay bit-identical).
+    mig: Option<MigCtx<'a>>,
+}
+
+/// Resolved migration objective: the reference assignment plus the two
+/// integer blend weights.
+#[derive(Clone, Copy)]
+struct MigCtx<'a> {
+    reference: &'a [u32],
+    /// Per-mille weight on `Δcut`.
+    lam: i64,
+    /// Per-mille weight on `Δmigration` (`1000 - lam`).
+    mu: i64,
+}
+
+impl<'a> MigCtx<'a> {
+    /// Migration-weight delta of moving a node of weight `wv` with
+    /// reference part `r` from `from` to `to`.
+    fn delta(&self, r: u32, from: u32, to: u32, wv: u64) -> i64 {
+        if r == Partition::UNASSIGNED || from == to {
+            0
+        } else if from == r {
+            wv as i64
+        } else if to == r {
+            -(wv as i64)
+        } else {
+            0
+        }
+    }
 }
 
 impl<'a> RefineEngine<'a> {
@@ -357,6 +432,7 @@ impl<'a> RefineEngine<'a> {
             boundary,
             row: vec![0; k],
             uvw: vec![0; n],
+            mig: None,
         }
     }
 
@@ -424,6 +500,8 @@ impl<'a> RefineEngine<'a> {
         let row = self.boundary.conn(v);
         let mask = self.boundary.conn_mask(v);
         let wv = self.csr.vwgt[v.index()];
+        let mig = self.mig;
+        let rv = mig.map(|m| m.reference[v.index()]);
         let mut best: Option<(MoveDelta, u32)> = None;
         let mut consider = |t: u32, row: &[u64]| {
             let d = eval_from_row(
@@ -436,15 +514,42 @@ impl<'a> RefineEngine<'a> {
                 t as usize,
                 wv,
             );
-            if !d.improves() {
-                return;
-            }
-            let better = match &best {
-                None => true,
-                Some((bd, bt)) => (d.dviol, d.dcut, t) < (bd.dviol, bd.dcut, *bt),
-            };
-            if better {
-                best = Some((d, t));
+            match mig {
+                // classic cut-only objective — unchanged
+                None => {
+                    if !d.improves() {
+                        return;
+                    }
+                    let better = match &best {
+                        None => true,
+                        Some((bd, bt)) => (d.dviol, d.dcut, t) < (bd.dviol, bd.dcut, *bt),
+                    };
+                    if better {
+                        best = Some((d, t));
+                    }
+                }
+                // warm-start blend: violations still dominate; among
+                // equal-violation moves the blended λ·Δcut + μ·Δmig
+                // score replaces the raw cut delta
+                Some(m) => {
+                    let r = rv.unwrap();
+                    let score = m.lam.saturating_mul(d.dcut)
+                        + m.mu.saturating_mul(m.delta(r, from as u32, t, wv));
+                    if !(d.dviol < 0 || (d.dviol == 0 && score < 0)) {
+                        return;
+                    }
+                    let better = match &best {
+                        None => true,
+                        Some((bd, bt)) => {
+                            let bscore = m.lam.saturating_mul(bd.dcut)
+                                + m.mu.saturating_mul(m.delta(r, from as u32, *bt, wv));
+                            (d.dviol, score, t) < (bd.dviol, bscore, *bt)
+                        }
+                    };
+                    if better {
+                        best = Some((d, t));
+                    }
+                }
             }
         };
         if k <= 64 {
@@ -479,6 +584,19 @@ impl<'a> RefineEngine<'a> {
         if let Some((d, t)) = self.best_move_for(p, c, v, protect_nonempty) {
             trace::hist("refine", "gain_dcut", d.dcut);
             trace::hist("refine", "gain_dviol", d.dviol);
+            if let Some(m) = self.mig {
+                let dm = m.delta(
+                    m.reference[v.index()],
+                    p.part_of(v),
+                    t,
+                    self.csr.vwgt[v.index()],
+                );
+                if dm > 0 {
+                    trace::counter("migration", "mass_out", dm as u64);
+                } else if dm < 0 {
+                    trace::counter("migration", "mass_back", (-dm) as u64);
+                }
+            }
             self.apply(p, v, t);
             true
         } else {
@@ -708,6 +826,34 @@ pub fn constrained_refine_parallel_csr<'a>(
     refine_entry(csr.into(), p, c, opts, true)
 }
 
+/// Warm-start refinement under the migration-aware objective of
+/// [`MigrationOptions`]: identical sweep structure to
+/// [`constrained_refine`], but among constraint-neutral moves the
+/// blended `λ·Δcut + (1−λ)·Δmigration` score decides. Violations never
+/// increase; with `lambda_permille = 1000` and no reference the sweep
+/// degenerates to the classic objective.
+pub fn constrained_refine_migration(
+    g: &WeightedGraph,
+    p: &mut Partition,
+    c: &Constraints,
+    opts: &RefineOptions,
+    mig: &MigrationOptions<'_>,
+) -> usize {
+    let csr = Csr::from_graph(g);
+    constrained_refine_migration_csr(&csr, p, c, opts, mig)
+}
+
+/// [`constrained_refine_migration`] off a borrowed CSR view.
+pub fn constrained_refine_migration_csr<'a>(
+    csr: impl Into<CsrView<'a>>,
+    p: &mut Partition,
+    c: &Constraints,
+    opts: &RefineOptions,
+    mig: &MigrationOptions<'_>,
+) -> usize {
+    refine_entry_with(csr.into(), p, c, opts, false, Some(mig))
+}
+
 fn refine_entry(
     csr: CsrView<'_>,
     p: &mut Partition,
@@ -715,11 +861,35 @@ fn refine_entry(
     opts: &RefineOptions,
     parallel: bool,
 ) -> usize {
+    refine_entry_with(csr, p, c, opts, parallel, None)
+}
+
+fn refine_entry_with<'a>(
+    csr: CsrView<'a>,
+    p: &mut Partition,
+    c: &Constraints,
+    opts: &RefineOptions,
+    parallel: bool,
+    mig: Option<&MigrationOptions<'a>>,
+) -> usize {
     assert!(p.is_complete(), "refinement needs a complete partition");
     if csr.num_nodes() == 0 || p.k() <= 1 {
         return 0;
     }
     let mut engine = RefineEngine::new(csr, p, c);
+    if let Some(m) = mig {
+        assert_eq!(
+            m.reference.len(),
+            csr.num_nodes(),
+            "migration reference must cover the graph"
+        );
+        let lam = m.lambda_permille.min(1000) as i64;
+        engine.mig = Some(MigCtx {
+            reference: m.reference,
+            lam,
+            mu: 1000 - lam,
+        });
+    }
     let mut rng = XorShift128Plus::new(derive_seed(opts.seed, 0xC0F1));
     let mut active: Vec<NodeId> = Vec::new();
     let mut total_moves = 0;
@@ -1001,6 +1171,156 @@ mod tests {
         assert!(c.is_feasible(&g, &p));
         constrained_refine(&g, &mut p, &c, &RefineOptions::default());
         assert!(c.is_feasible(&g, &p));
+    }
+
+    #[test]
+    fn migration_lambda_1000_matches_classic_fixed_point_quality() {
+        // with λ = 1000 the migration term is muted: the sweep must
+        // reach a state of the same cut/feasibility as the classic one
+        let g = bw_tension();
+        let c = Constraints::new(30, 200);
+        let mut classic = Partition::from_assignment(vec![0, 1, 0, 1, 0, 1], 2).unwrap();
+        constrained_refine(&g, &mut classic, &c, &RefineOptions::default());
+        let mut warm = Partition::from_assignment(vec![0, 1, 0, 1, 0, 1], 2).unwrap();
+        let reference = warm.assignment().to_vec();
+        constrained_refine_migration(
+            &g,
+            &mut warm,
+            &c,
+            &RefineOptions::default(),
+            &MigrationOptions {
+                reference: &reference,
+                lambda_permille: 1000,
+            },
+        );
+        assert_eq!(edge_cut(&g, &warm), edge_cut(&g, &classic));
+        assert!(c.is_feasible(&g, &warm));
+    }
+
+    #[test]
+    fn migration_lambda_0_pins_a_feasible_reference() {
+        // λ = 0: the start is feasible and equal to the reference, so
+        // no move can improve (every departure costs migration)
+        let g = bw_tension();
+        let c = Constraints::new(30, 200);
+        let reference = vec![0, 0, 0, 1, 1, 1];
+        let mut p = Partition::from_assignment(reference.clone(), 2).unwrap();
+        assert!(c.is_feasible(&g, &p));
+        let moves = constrained_refine_migration(
+            &g,
+            &mut p,
+            &c,
+            &RefineOptions::default(),
+            &MigrationOptions {
+                reference: &reference,
+                lambda_permille: 0,
+            },
+        );
+        assert_eq!(moves, 0);
+        assert_eq!(p.assignment(), reference.as_slice());
+    }
+
+    #[test]
+    fn migration_never_blocks_violation_repair() {
+        // same instance as refinement_repairs_bandwidth_violation, but
+        // the violating start IS the reference: λ = 0 must still let
+        // the repair move through (violations dominate migration)
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(10)).collect();
+        g.add_edge(n[0], n[1], 20).unwrap();
+        g.add_edge(n[1], n[2], 5).unwrap();
+        g.add_edge(n[2], n[3], 20).unwrap();
+        let c = Constraints::new(100, 10);
+        let reference = vec![0, 1, 1, 1];
+        let mut p = Partition::from_assignment(reference.clone(), 2).unwrap();
+        constrained_refine_migration(
+            &g,
+            &mut p,
+            &c,
+            &RefineOptions::default(),
+            &MigrationOptions {
+                reference: &reference,
+                lambda_permille: 0,
+            },
+        );
+        assert!(c.is_feasible(&g, &p), "repair must override migration");
+    }
+
+    #[test]
+    fn intermediate_lambda_trades_cut_for_migration() {
+        // two triangles joined by one light edge; reference splits one
+        // triangle across the cut. High λ fixes the split (cheaper
+        // cut, one migration); λ = 0 keeps the reference.
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..6).map(|_| g.add_node(10)).collect();
+        for &(a, b) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(n[a], n[b], 10).unwrap();
+        }
+        g.add_edge(n[2], n[3], 1).unwrap();
+        let c = Constraints::new(40, 1000);
+        let reference = vec![0, 0, 1, 1, 1, 0]; // nodes 2 and 5 misplaced
+        let run = |lambda: u32| {
+            let mut p = Partition::from_assignment(reference.clone(), 2).unwrap();
+            constrained_refine_migration(
+                &g,
+                &mut p,
+                &c,
+                &RefineOptions::default(),
+                &MigrationOptions {
+                    reference: &reference,
+                    lambda_permille: lambda,
+                },
+            );
+            (
+                edge_cut(&g, &p),
+                migration_mass(&reference, p.assignment(), &[10; 6]),
+            )
+        };
+        let (cut_hi, mig_hi) = run(1000);
+        let (cut_lo, mig_lo) = run(0);
+        assert!(
+            cut_hi < cut_lo,
+            "high λ must chase the cut: {cut_hi} vs {cut_lo}"
+        );
+        assert_eq!(mig_lo, 0, "λ = 0 must not migrate a feasible reference");
+        assert!(mig_hi > 0);
+    }
+
+    #[test]
+    fn unassigned_reference_nodes_migrate_for_free() {
+        // node 1 (reference UNASSIGNED) sits on the wrong side; λ near 0
+        // still lets it move because its migration is free
+        let mut g = WeightedGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(10)).collect();
+        g.add_edge(n[0], n[1], 20).unwrap();
+        g.add_edge(n[2], n[3], 20).unwrap();
+        g.add_edge(n[1], n[2], 1).unwrap();
+        let c = Constraints::new(40, 1000);
+        let reference = vec![0, Partition::UNASSIGNED, 1, 1];
+        let mut p = Partition::from_assignment(vec![0, 1, 1, 1], 2).unwrap();
+        constrained_refine_migration(
+            &g,
+            &mut p,
+            &c,
+            &RefineOptions::default(),
+            &MigrationOptions {
+                reference: &reference,
+                lambda_permille: 1,
+            },
+        );
+        assert_eq!(
+            p.part_of(NodeId(1)),
+            0,
+            "free mover should join its heavy edge"
+        );
+    }
+
+    #[test]
+    fn migration_mass_counts_only_real_departures() {
+        let reference = vec![0, 1, Partition::UNASSIGNED, 1];
+        let assignment = vec![0, 0, 1, 1];
+        let vwgt = vec![5, 7, 11, 13];
+        assert_eq!(migration_mass(&reference, &assignment, &vwgt), 7);
     }
 
     #[test]

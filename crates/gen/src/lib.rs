@@ -11,6 +11,9 @@
 //!   subsystem's scenario family);
 //! * [`pathological`] — chains and cliques, the adversarial extremes of
 //!   the cross-backend conformance matrix;
+//! * [`drift`] — streams of small [`GraphDelta`](ppn_graph::GraphDelta)s
+//!   over one base graph, the incremental-repartitioning scenario
+//!   family;
 //! * [`paper`] — the three 12-node experiment instances of the paper's
 //!   evaluation (§V), reconstructed from the published node/edge counts,
 //!   weight scales and constraints — the exact adjacency was never
@@ -18,6 +21,7 @@
 //!   reproduce the paper's qualitative outcome (see DESIGN.md §3).
 
 pub mod community;
+pub mod drift;
 pub mod multicast;
 pub mod paper;
 pub mod pathological;
@@ -35,6 +39,7 @@ pub(crate) fn draw_weight(rng: &mut ppn_graph::prng::XorShift128Plus, (lo, hi): 
 }
 
 pub use community::{community_graph, dense_community_graph};
+pub use drift::{drift_delta, drift_sequence};
 pub use multicast::{multicast_network, MulticastSpec};
 pub use paper::{all_experiments, experiment1, experiment2, experiment3, Experiment, PaperRow};
 pub use pathological::{chain_graph, clique_graph};

@@ -195,6 +195,16 @@ impl WeightedGraph {
         self.push_edge(u, v, w)
     }
 
+    /// Pre-size the backing vectors for a known final shape, so bulk
+    /// rebuilds (delta application) pay one allocation per vector
+    /// instead of a doubling cascade.
+    pub(crate) fn reserve(&mut self, nodes: usize, edges: usize) {
+        self.node_weights.reserve(nodes);
+        self.labels.reserve(nodes);
+        self.adj.reserve(nodes);
+        self.edges.reserve(edges);
+    }
+
     fn push_edge(&mut self, u: NodeId, v: NodeId, w: u64) -> EdgeId {
         let id = EdgeId::from_index(self.edges.len());
         self.edges.push((u, v, w));
@@ -278,7 +288,7 @@ impl WeightedGraph {
                 return Err(GraphError::ZeroWeight);
             }
         }
-        for (i, &(u, v, w)) in self.edges.iter().enumerate() {
+        for &(u, v, w) in self.edges.iter() {
             if u == v {
                 return Err(GraphError::SelfLoop(u.0));
             }
@@ -291,11 +301,27 @@ impl WeightedGraph {
             if v.index() >= self.num_nodes() {
                 return Err(GraphError::InvalidNode(v.0));
             }
-            let eid = EdgeId::from_index(i);
-            if !self.adj[u.index()].contains(&(v, eid)) || !self.adj[v.index()].contains(&(u, eid))
-            {
-                return Err(GraphError::InvalidEdge(eid.0));
+        }
+        // Adjacency ↔ edge-list agreement in O(V + E): every adjacency
+        // entry must name an edge whose endpoints are exactly (here,
+        // neighbour), and every edge must be named exactly twice — once
+        // from each endpoint. This replaces a per-edge `contains` scan
+        // whose O(E · degree) cost dominated validation on dense graphs.
+        let mut incidences = vec![0u8; self.edges.len()];
+        for u in 0..self.num_nodes() {
+            for &(v, e) in &self.adj[u] {
+                let Some(&(a, b, _)) = self.edges.get(e.index()) else {
+                    return Err(GraphError::InvalidEdge(e.0));
+                };
+                let matches = (a.index() == u && b == v) || (b.index() == u && a == v);
+                if !matches {
+                    return Err(GraphError::InvalidEdge(e.0));
+                }
+                incidences[e.index()] = incidences[e.index()].saturating_add(1);
             }
+        }
+        if incidences.iter().any(|&c| c != 2) {
+            return Err(GraphError::Io("dangling adjacency entries".into()));
         }
         // Duplicate detection via a stamped marker array: O(V + E) with a
         // single allocation, instead of a HashSet keyed on edge pairs.
@@ -309,10 +335,6 @@ impl WeightedGraph {
                 }
                 last_seen_from[v.index()] = u as u32;
             }
-        }
-        let half_edges: usize = self.adj.iter().map(|a| a.len()).sum();
-        if half_edges != 2 * self.edges.len() {
-            return Err(GraphError::Io("dangling adjacency entries".into()));
         }
         Ok(())
     }

@@ -26,6 +26,7 @@ pub mod budget;
 pub mod constraints;
 pub mod contract;
 pub mod csr;
+pub mod delta;
 pub mod error;
 pub mod faultpoint;
 pub mod graph;
@@ -44,6 +45,7 @@ pub use budget::{Budget, Degradation, MemoryLedger, Reservation};
 pub use constraints::{ConstraintReport, Constraints};
 pub use contract::{contract, contract_reference, contract_with, CoarseMap, ContractScratch};
 pub use csr::{Csr, CsrView};
+pub use delta::{apply_delta, DeltaMap, GraphDelta};
 pub use error::GraphError;
 pub use graph::WeightedGraph;
 pub use ids::{EdgeId, NodeId};
